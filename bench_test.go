@@ -1,0 +1,627 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// ablation studies and micro-benchmarks. Run with:
+//
+//	go test -bench=. -benchmem            # reduced scale, seconds
+//	GENSCHED_FULL=1 go test -bench=Fig4 -benchtime=1x -timeout=4h
+//
+// Each experiment bench logs the rows/series the paper reports (visible
+// with -v); cmd/paperrepro produces the same output as CSV files.
+package gensched
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/experiments"
+	"github.com/hpcsched/gensched/internal/expr"
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/traces"
+	"github.com/hpcsched/gensched/internal/trainer"
+	"github.com/hpcsched/gensched/internal/tsafrir"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// tracesAll lists the Table 5 platform specs.
+func tracesAll() []traces.PlatformSpec { return traces.All() }
+
+// benchConfig selects paper scale when GENSCHED_FULL is set, otherwise the
+// reduced configuration.
+func benchConfig() experiments.Config {
+	if os.Getenv("GENSCHED_FULL") != "" {
+		return experiments.DefaultConfig()
+	}
+	return experiments.QuickConfig()
+}
+
+// benchCache shares generated workloads across benchmarks so each scenario
+// bench measures scheduling, not workload generation.
+var benchCache = struct {
+	sync.Mutex
+	windows map[string][][]workload.Job
+}{windows: map[string][][]workload.Job{}}
+
+func cachedWindows(b *testing.B, key string, build func() ([][]workload.Job, error)) [][]workload.Job {
+	b.Helper()
+	benchCache.Lock()
+	defer benchCache.Unlock()
+	if w, ok := benchCache.windows[key]; ok {
+		return w
+	}
+	w, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCache.windows[key] = w
+	return w
+}
+
+func modelWindows(b *testing.B, cfg experiments.Config, cores int) [][]workload.Job {
+	key := fmt.Sprintf("model-%d-%d-%v", cores, cfg.Sequences, cfg.WindowDays)
+	return cachedWindows(b, key, func() ([][]workload.Job, error) {
+		return experiments.ModelWindows(cfg, cores)
+	})
+}
+
+// runScenario benchmarks one dynamic scheduling experiment and logs the
+// per-policy medians — one row of Table 4.
+func runScenario(b *testing.B, sc experiments.Scenario, cfg experiments.Config) {
+	b.Helper()
+	var res *experiments.DynamicResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunDynamic(sc, sched.Registry(), cfg.Workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	med := res.Medians()
+	var sb strings.Builder
+	for i, p := range res.Policies {
+		fmt.Fprintf(&sb, "%s=%.2f ", p, med[i])
+	}
+	b.Logf("%s medians: %s", sc.ID, sb.String())
+}
+
+func benchModelScenario(b *testing.B, id string, cores int, est bool, bf sim.BackfillMode) {
+	cfg := benchConfig()
+	ws := modelWindows(b, cfg, cores)
+	runScenario(b, experiments.Scenario{
+		ID: id, Name: id, Cores: cores, UseEstimates: est, Backfill: bf, Windows: ws,
+	}, cfg)
+}
+
+// --- Figures 4-6: workload-model scenarios -------------------------------
+
+func BenchmarkFig4aModel256Actual(b *testing.B) {
+	benchModelScenario(b, "fig4a", 256, false, sim.BackfillNone)
+}
+
+func BenchmarkFig4bModel1024Actual(b *testing.B) {
+	benchModelScenario(b, "fig4b", 1024, false, sim.BackfillNone)
+}
+
+func BenchmarkFig5aModel256Estimates(b *testing.B) {
+	benchModelScenario(b, "fig5a", 256, true, sim.BackfillNone)
+}
+
+func BenchmarkFig5bModel1024Estimates(b *testing.B) {
+	benchModelScenario(b, "fig5b", 1024, true, sim.BackfillNone)
+}
+
+func BenchmarkFig6aModel256Backfill(b *testing.B) {
+	benchModelScenario(b, "fig6a", 256, true, sim.BackfillEASY)
+}
+
+func BenchmarkFig6bModel1024Backfill(b *testing.B) {
+	benchModelScenario(b, "fig6b", 1024, true, sim.BackfillEASY)
+}
+
+// --- Figures 7-9: synthetic trace scenarios ------------------------------
+
+func benchTraceScenarios(b *testing.B, fig string, est bool, bf sim.BackfillMode) {
+	cfg := benchConfig()
+	for ti, spec := range tracesAll() {
+		spec := spec
+		id := fmt.Sprintf("%s%c", fig, 'a'+ti)
+		b.Run(strings.ReplaceAll(spec.Name, " ", ""), func(b *testing.B) {
+			ws := cachedWindows(b, "trace-"+spec.Name, func() ([][]workload.Job, error) {
+				return experiments.TraceWindows(cfg, spec)
+			})
+			runScenario(b, experiments.Scenario{
+				ID: id, Name: spec.Name, Cores: spec.Cores,
+				UseEstimates: est, Backfill: bf, Windows: ws,
+			}, cfg)
+		})
+	}
+}
+
+func BenchmarkFig7TracesActual(b *testing.B) {
+	benchTraceScenarios(b, "fig7", false, sim.BackfillNone)
+}
+
+func BenchmarkFig8TracesEstimates(b *testing.B) {
+	benchTraceScenarios(b, "fig8", true, sim.BackfillNone)
+}
+
+func BenchmarkFig9TracesBackfill(b *testing.B) {
+	benchTraceScenarios(b, "fig9", true, sim.BackfillEASY)
+}
+
+// --- Training-side experiments -------------------------------------------
+
+func BenchmarkFig1TrialScores(b *testing.B) {
+	cfg := benchConfig()
+	var res []*trainer.TupleScores
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig1(cfg, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, ts := range res {
+		b.Logf("fig1%c scores (mean line 1/32=0.031): %s", 'a'+i, fmtScores(ts.Scores))
+	}
+}
+
+func fmtScores(xs []float64) string {
+	var sb strings.Builder
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%.4f ", x)
+	}
+	return sb.String()
+}
+
+func BenchmarkFig2Convergence(b *testing.B) {
+	cfg := benchConfig()
+	var res *experiments.Fig2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("fig2:\n%s", experiments.FormatFig2(res))
+}
+
+func BenchmarkTable3Fit(b *testing.B) {
+	cfg := benchConfig()
+	var res *experiments.Table3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("table3:\n%s", experiments.FormatTable3(res))
+}
+
+func BenchmarkFig3Heatmaps(b *testing.B) {
+	funcs := []expr.Func{
+		{Form: expr.Form{A: expr.BaseLog, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}, C: [3]float64{1, 1, 8.70e2}},
+		{Form: expr.Form{A: expr.BaseSqrt, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}, C: [3]float64{1, 1, 2.56e4}},
+		{Form: expr.Form{A: expr.BaseID, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}, C: [3]float64{1, 1, 6.86e6}},
+		{Form: expr.Form{A: expr.BaseID, B: expr.BaseSqrt, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}, C: [3]float64{1, 1, 5.30e5}},
+	}
+	names := []string{"F1", "F2", "F3", "F4"}
+	var maps []experiments.Heatmap
+	var err error
+	for i := 0; i < b.N; i++ {
+		maps, err = experiments.Fig3(funcs, names, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("fig3: %d heatmap panels\n%s", len(maps), experiments.RenderHeatmap(maps[1], 48))
+}
+
+// --- Tables 4-5 -----------------------------------------------------------
+
+func BenchmarkTable4Medians(b *testing.B) {
+	cfg := benchConfig()
+	suite := &experiments.Suite{
+		Config:    cfg,
+		Model256:  modelWindows(b, cfg, 256),
+		Model1024: modelWindows(b, cfg, 1024),
+	}
+	for _, spec := range tracesAll() {
+		ws := cachedWindows(b, "trace-"+spec.Name, func() ([][]workload.Job, error) {
+			return experiments.TraceWindows(cfg, spec)
+		})
+		suite.Traces = append(suite.Traces, experiments.TraceWorkload{Spec: spec, Windows: ws})
+	}
+	var res *experiments.Table4Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = suite.Table4(sched.Registry())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("table4:\n%s", res.Format())
+}
+
+func BenchmarkTable5TraceInventory(b *testing.B) {
+	cfg := benchConfig()
+	var rows []experiments.Table5Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Logf("table5:\n%s", experiments.FormatTable5(rows))
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblationRegressionWeight compares the paper's r·n regression
+// weighting (Eq. 4) against an unweighted fit on the same distribution.
+func BenchmarkAblationRegressionWeight(b *testing.B) {
+	cfg := benchConfig()
+	samples, err := trainer.ScoreDistribution(cfg.Tuples, trainer.DefaultSpec(),
+		trainer.TrialConfig{Trials: cfg.Trials}, dist.Split(cfg.Seed, 77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wTop, uTop mlfit.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wr, err := mlfit.FitAll(samples, mlfit.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ur, err := mlfit.FitAll(samples, mlfit.Options{Weight: func(mlfit.Sample) float64 { return 1 }})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wTop, uTop = wr[0], ur[0]
+	}
+	b.StopTimer()
+	ws, _ := wTop.Func.Simplified()
+	us, _ := uTop.Func.Simplified()
+	b.Logf("weighted top: %s (rank %.3g); unweighted top: %s (rank %.3g)",
+		ws.Compact(), wTop.Rank, us.Compact(), uTop.Rank)
+}
+
+// BenchmarkAblationTau sweeps the bounded-slowdown constant τ (Eq. 1).
+func BenchmarkAblationTau(b *testing.B) {
+	cfg := benchConfig()
+	ws := modelWindows(b, cfg, 256)
+	for _, tau := range []float64{1, 10, 60} {
+		tau := tau
+		b.Run(fmt.Sprintf("tau%g", tau), func(b *testing.B) {
+			runScenario(b, experiments.Scenario{
+				ID: fmt.Sprintf("ablation-tau-%g", tau), Name: "tau sweep",
+				Cores: 256, Tau: tau, Windows: ws,
+			}, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationBackfillVariant compares no backfilling, EASY and
+// conservative backfilling under the F1 policy and FCFS.
+func BenchmarkAblationBackfillVariant(b *testing.B) {
+	cfg := benchConfig()
+	ws := modelWindows(b, cfg, 256)
+	for _, mode := range []sim.BackfillMode{sim.BackfillNone, sim.BackfillEASY, sim.BackfillConservative} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			sc := experiments.Scenario{
+				ID: "ablation-bf-" + mode.String(), Name: "backfill variant",
+				Cores: 256, UseEstimates: true, Backfill: mode, Windows: ws,
+			}
+			var res *experiments.DynamicResult
+			var err error
+			pol := []sched.Policy{sched.FCFS(), sched.F1()}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = experiments.RunDynamic(sc, pol, cfg.Workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			med := res.Medians()
+			b.Logf("%s: FCFS=%.2f F1=%.2f", mode, med[0], med[1])
+		})
+	}
+}
+
+// BenchmarkAblationQSize sweeps the measured task-set size |Q| in the
+// training scheme.
+func BenchmarkAblationQSize(b *testing.B) {
+	cfg := benchConfig()
+	for _, qsize := range []int{16, 32, 64} {
+		qsize := qsize
+		b.Run(fmt.Sprintf("Q%d", qsize), func(b *testing.B) {
+			spec := trainer.DefaultSpec()
+			spec.QSize = qsize
+			tuple, err := trainer.GenerateTuple(spec, dist.Split(cfg.Seed, uint64(qsize)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ts *trainer.TupleScores
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts, err = trainer.ScoreTuple(tuple, trainer.TrialConfig{
+					Trials: cfg.Trials, Seed: cfg.Seed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			var sum float64
+			for _, s := range ts.Scores {
+				sum += s
+			}
+			b.Logf("|Q|=%d: mean score %.4f (1/|Q| = %.4f)", qsize, sum/float64(qsize), 1/float64(qsize))
+		})
+	}
+}
+
+// BenchmarkAblationEstimateAccuracy sweeps estimate quality: perfect
+// estimates, the Tsafrir model, and grossly inflated requests.
+func BenchmarkAblationEstimateAccuracy(b *testing.B) {
+	cfg := benchConfig()
+	base := modelWindows(b, cfg, 256)
+	variants := []struct {
+		name   string
+		mutate func([]workload.Job)
+	}{
+		{"perfect", func(js []workload.Job) {
+			for i := range js {
+				js[i].Estimate = js[i].Runtime
+			}
+		}},
+		{"tsafrir", func(js []workload.Job) {
+			_ = tsafrir.Apply(tsafrir.Default(), js, 12345)
+		}},
+		{"inflated10x", func(js []workload.Job) {
+			for i := range js {
+				js[i].Estimate = js[i].Runtime * 10
+			}
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			ws := make([][]workload.Job, len(base))
+			for i, w := range base {
+				cp := append([]workload.Job(nil), w...)
+				v.mutate(cp)
+				ws[i] = cp
+			}
+			sc := experiments.Scenario{
+				ID: "ablation-est-" + v.name, Name: v.name, Cores: 256,
+				UseEstimates: true, Backfill: sim.BackfillEASY, Windows: ws,
+			}
+			var res *experiments.DynamicResult
+			var err error
+			pol := []sched.Policy{sched.FCFS(), sched.F1()}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err = experiments.RunDynamic(sc, pol, cfg.Workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			med := res.Medians()
+			b.Logf("%s: FCFS+EASY=%.2f F1+EASY=%.2f", v.name, med[0], med[1])
+		})
+	}
+}
+
+// BenchmarkAblationBackfillOrder compares classic EASY (queue-order
+// candidates) with the EASY-SJBF variant (shortest safe candidate first)
+// under FCFS — the combination where candidate choice matters most.
+func BenchmarkAblationBackfillOrder(b *testing.B) {
+	cfg := benchConfig()
+	ws := modelWindows(b, cfg, 256)
+	variants := []struct {
+		name  string
+		order sched.Policy
+	}{
+		{"queueorder", nil},
+		{"sjbf", sched.SPT()},
+		{"saf", sched.SAF()},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var med float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals := make([]float64, len(ws))
+				for si, w := range ws {
+					res, err := sim.Run(sim.Platform{Cores: 256}, w, sim.Options{
+						Policy: sched.FCFS(), UseEstimates: true,
+						Backfill: sim.BackfillEASY, BackfillOrder: v.order,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					vals[si] = res.AVEbsld
+				}
+				med = median(vals)
+			}
+			b.StopTimer()
+			b.Logf("FCFS+EASY backfill order %s: median AVEbsld %.2f", v.name, med)
+		})
+	}
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	n := len(cp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// BenchmarkAblationLoadSweep sweeps the offered load and logs where the
+// policy orderings cross over — the regime question the paper's fixed
+// near-saturation load leaves open.
+func BenchmarkAblationLoadSweep(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Sequences = min(cfg.Sequences, 4)
+	pols := []sched.Policy{sched.FCFS(), sched.SPT(), sched.F1()}
+	loads := []float64{0.7, 0.9, 1.05, 1.2}
+	var res *experiments.LoadSweepResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.LoadSweep(cfg, 256, loads, pols)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Logf("load sweep:\n%s", res.Format())
+	for _, x := range res.Crossovers() {
+		b.Logf("crossover: %s", x)
+	}
+}
+
+// BenchmarkAblationBackfillGain quantifies the §4.2.3 observation: the
+// ratio by which EASY backfilling improves each policy's median.
+func BenchmarkAblationBackfillGain(b *testing.B) {
+	cfg := benchConfig()
+	ws := modelWindows(b, cfg, 256)
+	sc := experiments.Scenario{ID: "gain", Name: "gain", Cores: 256, UseEstimates: true, Windows: ws}
+	var gains map[string]float64
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gains, err = experiments.BackfillGain(sc, sched.Registry(), cfg.Workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, p := range sched.Names(sched.Registry()) {
+		b.Logf("backfill gain %s: %.2fx", p, gains[p])
+	}
+}
+
+// --- Micro-benchmarks -------------------------------------------------------
+
+func microJobs(n int) []workload.Job {
+	gen, err := lublin.NewGenerator(lublin.DefaultParams(256), 256, 4242)
+	if err != nil {
+		panic(err)
+	}
+	return gen.Jobs(n)
+}
+
+func BenchmarkMicroSimulatorFCFS(b *testing.B) {
+	jobs := microJobs(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Platform{Cores: 256}, jobs, sim.Options{Policy: sched.FCFS()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs/op")
+}
+
+func BenchmarkMicroSimulatorEASY(b *testing.B) {
+	jobs := microJobs(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Platform{Cores: 256}, jobs, sim.Options{
+			Policy: sched.F1(), Backfill: sim.BackfillEASY, UseEstimates: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs/op")
+}
+
+func BenchmarkMicroPolicyScore(b *testing.B) {
+	policies := sched.Registry()
+	view := sched.JobView{Runtime: 3600, Cores: 16, Submit: 7200, Wait: 600}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range policies {
+			_ = p.Score(view)
+		}
+	}
+}
+
+func BenchmarkMicroFitSingleForm(b *testing.B) {
+	truth := expr.Func{
+		Form: expr.Form{A: expr.BaseLog, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd},
+		C:    [3]float64{1, 1, 870},
+	}
+	rng := dist.New(99)
+	samples := make([]mlfit.Sample, 500)
+	for i := range samples {
+		r := 1 + rng.Float64()*27000
+		n := 1 + rng.Float64()*255
+		s := 1 + rng.Float64()*86400
+		samples[i] = mlfit.Sample{R: r, N: n, S: s, Score: truth.Eval(r, n, s)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mlfit.Fit(truth.Form, samples, mlfit.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroTrialThroughput(b *testing.B) {
+	tuple, err := trainer.GenerateTuple(trainer.DefaultSpec(), 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.ScoreTuple(tuple, trainer.TrialConfig{Trials: 128, Seed: 5, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(128, "trials/op")
+}
+
+func BenchmarkMicroSWFParse(b *testing.B) {
+	tr := &workload.Trace{Name: "bench", MaxProcs: 256, Jobs: microJobs(2000)}
+	var buf bytes.Buffer
+	if err := workload.WriteSWF(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.ParseSWF(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

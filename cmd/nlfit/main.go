@@ -1,0 +1,77 @@
+// Command nlfit is workflow 2 of the paper's artifact
+// (nonlinear-regression): it reads a score distribution CSV (the output of
+// traindata), enumerates all 576 candidate nonlinear functions
+// f = (c1·α(r)) op1 (c2·β(n)) op2 (c3·γ(s)), fits each by weighted
+// least squares (Eq. 4, weight r·n), and prints them in decreasing order
+// of fitness (Eq. 5) in the artifact's output style.
+//
+// Usage:
+//
+//	nlfit score-distribution.csv
+//	nlfit -top 4 -unweighted score-distribution.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/trainer"
+)
+
+func main() {
+	var (
+		top        = flag.Int("top", 10, "how many fitted functions to print (0 = all 576)")
+		distinct   = flag.Bool("distinct", true, "collapse algebraically equivalent functions")
+		unweighted = flag.Bool("unweighted", false, "drop the Eq. 4 r*n weighting (ablation)")
+		polish     = flag.Bool("polish", false, "refine with Levenberg-Marquardt after the closed-form solve")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nlfit [flags] score-distribution.csv")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *top, *distinct, *unweighted, *polish); err != nil {
+		fmt.Fprintln(os.Stderr, "nlfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, top int, distinct, unweighted, polish bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, err := trainer.ReadScoreCSV(f)
+	if err != nil {
+		return err
+	}
+	opt := mlfit.Options{Polish: polish}
+	if unweighted {
+		opt.Weight = func(mlfit.Sample) float64 { return 1 }
+	}
+	ranked, err := mlfit.FitAll(samples, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %d samples, %d candidate functions\n", len(samples), len(ranked))
+	show := ranked
+	if distinct {
+		if top <= 0 {
+			top = len(ranked)
+		}
+		show = mlfit.TopDistinct(ranked, top)
+	} else if top > 0 && top < len(show) {
+		show = show[:top]
+	}
+	for i, r := range show {
+		simp, ok := r.Func.Simplified()
+		fmt.Printf("%3d. %s,\n     fitness=%.7g\n", i+1, r.Func, r.Rank)
+		if ok {
+			fmt.Printf("     simplified: %s\n", simp.Compact())
+		}
+	}
+	return nil
+}

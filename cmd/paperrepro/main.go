@@ -1,0 +1,201 @@
+// Command paperrepro regenerates every table and figure of the paper and
+// writes the series as CSV files plus a human-readable report.
+//
+// Usage:
+//
+//	paperrepro -out out/            # reduced scale (minutes)
+//	paperrepro -full -out out/      # paper scale (expect hours)
+//	paperrepro -only fig4a,table3   # a subset of experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/hpcsched/gensched/internal/experiments"
+	"github.com/hpcsched/gensched/internal/expr"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/trainer"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "out", "output directory")
+		full = flag.Bool("full", false, "run at the paper's full scale")
+		only = flag.String("only", "", "comma-separated experiment ids (fig1,fig2,fig3,table3,table4,table5,scenarios)")
+	)
+	flag.Parse()
+	cfg := experiments.QuickConfig()
+	if *full {
+		cfg = experiments.DefaultConfig()
+	}
+	if err := run(cfg, *out, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiments.Config, outDir, only string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+	report, err := os.Create(filepath.Join(outDir, "report.txt"))
+	if err != nil {
+		return err
+	}
+	defer report.Close()
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+		fmt.Fprintf(report, format+"\n", args...)
+	}
+	start := time.Now()
+
+	if selected("fig1") {
+		res, err := experiments.Fig1(cfg, 2)
+		if err != nil {
+			return err
+		}
+		for i, ts := range res {
+			path := filepath.Join(outDir, fmt.Sprintf("fig1%c.csv", 'a'+i))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(f, "task,score")
+			for ti, s := range ts.Scores {
+				fmt.Fprintf(f, "%d,%g\n", ti, s)
+			}
+			f.Close()
+			logf("fig1%c: %d trial scores -> %s (mean line %.4f)", 'a'+i, len(ts.Scores), path, 1.0/float64(len(ts.Scores)))
+		}
+	}
+
+	if selected("fig2") {
+		res, err := experiments.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "fig2.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "trials,normalized_stddev")
+		for i, c := range res.Counts {
+			fmt.Fprintf(f, "%d,%g\n", c, res.Normalized[i])
+		}
+		f.Close()
+		logf("fig2 -> %s\n%s", path, experiments.FormatFig2(res))
+	}
+
+	var learned []expr.Func
+	if selected("table3") {
+		res, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		samples, err := trainer.ScoreDistribution(1, trainer.DefaultSpec(),
+			trainer.TrialConfig{Trials: min(cfg.Trials, 1024)}, cfg.Seed)
+		if err == nil && len(samples) > 0 {
+			// Also persist a small sample of the training distribution.
+			f, err := os.Create(filepath.Join(outDir, "score-distribution-sample.csv"))
+			if err == nil {
+				_ = trainer.WriteScoreCSV(f, samples)
+				f.Close()
+			}
+		}
+		logf("table3:\n%s", experiments.FormatTable3(res))
+		for _, b := range res.Best {
+			s, _ := b.Func.Simplified()
+			learned = append(learned, s)
+		}
+		// Persist the learned policies as parseable strings: each line
+		// loads back via `schedtest -custom "<line>"`.
+		pf, err := os.Create(filepath.Join(outDir, "learned-policies.txt"))
+		if err != nil {
+			return err
+		}
+		for _, fn := range learned {
+			fmt.Fprintln(pf, fn.Compact())
+		}
+		pf.Close()
+		logf("learned policies -> %s", filepath.Join(outDir, "learned-policies.txt"))
+	}
+
+	if selected("fig3") {
+		funcs := []expr.Func{
+			{Form: expr.Form{A: expr.BaseLog, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}, C: [3]float64{1, 1, 8.70e2}},
+			{Form: expr.Form{A: expr.BaseSqrt, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}, C: [3]float64{1, 1, 2.56e4}},
+			{Form: expr.Form{A: expr.BaseID, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}, C: [3]float64{1, 1, 6.86e6}},
+			{Form: expr.Form{A: expr.BaseID, B: expr.BaseSqrt, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}, C: [3]float64{1, 1, 5.30e5}},
+		}
+		maps, err := experiments.Fig3(funcs, []string{"F1", "F2", "F3", "F4"}, 64)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "fig3.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(f, "policy,panel,x,y,z")
+		for _, h := range maps {
+			panel := h.XLabel + "|" + h.YLabel
+			for yi, y := range h.Ys {
+				for xi, x := range h.Xs {
+					fmt.Fprintf(f, "%s,%s,%g,%g,%g\n", h.Policy, panel, x, y, h.Z[yi][xi])
+				}
+			}
+		}
+		f.Close()
+		logf("fig3: %d panels -> %s", len(maps), path)
+	}
+
+	if selected("table5") {
+		rows, err := experiments.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		logf("table5:\n%s", experiments.FormatTable5(rows))
+	}
+
+	if selected("table4") || selected("scenarios") {
+		suite, err := experiments.BuildSuite(cfg)
+		if err != nil {
+			return err
+		}
+		t4, err := suite.Table4(sched.Registry())
+		if err != nil {
+			return err
+		}
+		for _, res := range t4.Results {
+			path := filepath.Join(outDir, res.Scenario.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			logf("%s (%s) -> %s", res.Scenario.ID, res.Scenario.Name, path)
+			logf("%s", res.ArtifactReport())
+		}
+		logf("table4:\n%s", t4.Format())
+	}
+
+	logf("paperrepro: done in %v", time.Since(start).Round(time.Second))
+	return nil
+}

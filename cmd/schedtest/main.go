@@ -1,0 +1,168 @@
+// Command schedtest is workflow 3 of the paper's artifact
+// (sched-performance-tester): it runs a dynamic scheduling experiment —
+// ten (configurable) disjoint fifteen-day sequences scheduled with each
+// policy — and prints medians, means and standard deviations of the
+// average bounded slowdown in the artifact's output format, plus an ASCII
+// boxplot standing in for the paper's figure panels.
+//
+// Workloads come either from the Lublin model (default), from one of the
+// synthetic platform stand-ins, or from an SWF file.
+//
+// Usage:
+//
+//	schedtest -cores 256 -sequences 10 -days 15
+//	schedtest -platform curie -estimates -backfill easy
+//	schedtest -swf trace.swf -policies FCFS,SPT,F1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hpcsched/gensched/internal/experiments"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/traces"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func main() {
+	var (
+		cores     = flag.Int("cores", 256, "machine size (Lublin workloads; SWF files carry their own)")
+		sequences = flag.Int("sequences", 10, "number of disjoint sequences")
+		days      = flag.Float64("days", 15, "sequence length in days")
+		load      = flag.Float64("load", 1.05, "offered load for Lublin workloads")
+		platform  = flag.String("platform", "", "platform stand-in: curie | intrepid | sdsc-blue | ctc-sp2")
+		swf       = flag.String("swf", "", "schedule an SWF trace file instead of a generated workload")
+		policies  = flag.String("policies", "", "comma-separated policy names (default: the paper's eight)")
+		custom    = flag.String("custom", "", "additional custom policy as a function, e.g. 'log10(r)*n + 870*log10(s)'")
+		estimates = flag.Bool("estimates", false, "schedule on user estimates instead of actual runtimes")
+		backfill  = flag.String("backfill", "none", "backfilling: none | easy | conservative")
+		seed      = flag.Uint64("seed", 20171112, "random seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(*cores, *sequences, *days, *load, *platform, *swf, *policies, *custom,
+		*estimates, *backfill, *seed, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "schedtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cores, sequences int, days, load float64, platform, swf, policyList, custom string,
+	estimates bool, backfill string, seed uint64, workers int) error {
+
+	cfg := experiments.Config{
+		Seed: seed, Sequences: sequences, WindowDays: days,
+		ModelLoad: load, Workers: workers,
+	}
+	bf, err := parseBackfill(backfill)
+	if err != nil {
+		return err
+	}
+	pols, err := parsePolicies(policyList)
+	if err != nil {
+		return err
+	}
+	if custom != "" {
+		p, err := sched.ParseExpr("CUSTOM", custom)
+		if err != nil {
+			return err
+		}
+		pols = append(pols, p)
+	}
+
+	var windows [][]workload.Job
+	name := fmt.Sprintf("lublin_%d", cores)
+	switch {
+	case swf != "":
+		f, err := os.Open(swf)
+		if err != nil {
+			return err
+		}
+		tr, err := workload.ParseSWF(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if fixed := tr.Repair(); fixed > 0 {
+			fmt.Fprintf(os.Stderr, "schedtest: repaired %d jobs (oversized or missing estimates)\n", fixed)
+		}
+		cores = tr.MaxProcs
+		name = swf
+		windows, err = workload.Windows(tr, days*24*3600, sequences, 1)
+		if err != nil {
+			return err
+		}
+	case platform != "":
+		spec, err := platformSpec(platform)
+		if err != nil {
+			return err
+		}
+		cores = spec.Cores
+		name = spec.Name
+		windows, err = experiments.TraceWindows(cfg, spec)
+		if err != nil {
+			return err
+		}
+	default:
+		windows, err = experiments.ModelWindows(cfg, cores)
+		if err != nil {
+			return err
+		}
+	}
+
+	sc := experiments.Scenario{
+		ID: "schedtest", Name: name, Cores: cores,
+		UseEstimates: estimates, Backfill: bf, Windows: windows,
+	}
+	res, err := experiments.RunDynamic(sc, pols, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.ArtifactReport())
+	return nil
+}
+
+func parseBackfill(s string) (sim.BackfillMode, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return sim.BackfillNone, nil
+	case "easy", "aggressive":
+		return sim.BackfillEASY, nil
+	case "conservative":
+		return sim.BackfillConservative, nil
+	}
+	return 0, fmt.Errorf("unknown backfill mode %q", s)
+}
+
+func parsePolicies(list string) ([]sched.Policy, error) {
+	if list == "" {
+		return sched.Registry(), nil
+	}
+	var out []sched.Policy
+	for _, name := range strings.Split(list, ",") {
+		p, err := sched.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func platformSpec(name string) (traces.PlatformSpec, error) {
+	switch strings.ToLower(name) {
+	case "curie":
+		return traces.Curie, nil
+	case "intrepid":
+		return traces.Intrepid, nil
+	case "sdsc-blue", "sdsc":
+		return traces.SDSCBlue, nil
+	case "ctc-sp2", "ctc":
+		return traces.CTCSP2, nil
+	}
+	return traces.PlatformSpec{}, fmt.Errorf("unknown platform %q", name)
+}

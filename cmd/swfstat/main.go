@@ -1,0 +1,94 @@
+// Command swfstat inspects a trace in Standard Workload Format: platform
+// size, job count, utilization, size and runtime distributions — the
+// numbers Table 5 of the paper reports per log — plus optional ASCII
+// histograms.
+//
+// Usage:
+//
+//	swfstat trace.swf
+//	swfstat -hist trace.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/hpcsched/gensched/internal/stats"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func main() {
+	hist := flag.Bool("hist", false, "print log2(size) and log10(runtime) histograms")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: swfstat [-hist] trace.swf")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *hist); err != nil {
+		fmt.Fprintln(os.Stderr, "swfstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, hist bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.ParseSWF(f)
+	if err != nil {
+		return err
+	}
+	st := tr.ComputeStats()
+	fmt.Printf("trace:        %s\n", orUnknown(tr.Name))
+	fmt.Printf("max procs:    %d\n", tr.MaxProcs)
+	fmt.Printf("jobs:         %d (skipped: %s)\n", st.Jobs, tr.Header[";gensched-skipped"])
+	fmt.Printf("duration:     %.1f days\n", st.DurationSec/86400)
+	fmt.Printf("utilization:  %.1f%%\n", 100*st.Utilization)
+	fmt.Printf("mean size:    %.1f cores (max %d)\n", st.MeanCores, st.MaxCores)
+	fmt.Printf("mean runtime: %.0f s\n", st.MeanRuntime)
+
+	runtimes := make([]float64, len(tr.Jobs))
+	sizes := make([]float64, len(tr.Jobs))
+	accs := make([]float64, 0, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		runtimes[i] = j.Runtime
+		sizes[i] = float64(j.Cores)
+		if j.Estimate > 0 {
+			accs = append(accs, j.Runtime/j.Estimate)
+		}
+	}
+	fmt.Printf("runtime p50/p90/p99: %.0f / %.0f / %.0f s\n",
+		stats.Quantile(runtimes, 0.5), stats.Quantile(runtimes, 0.9), stats.Quantile(runtimes, 0.99))
+	fmt.Printf("size p50/p90/p99:    %.0f / %.0f / %.0f cores\n",
+		stats.Quantile(sizes, 0.5), stats.Quantile(sizes, 0.9), stats.Quantile(sizes, 0.99))
+	if len(accs) > 0 {
+		fmt.Printf("estimate accuracy r/e p50: %.2f\n", stats.Quantile(accs, 0.5))
+	}
+
+	if hist {
+		fmt.Println("\nlog10(runtime) histogram:")
+		h := stats.NewHistogram(0, math.Log10(stats.Max(runtimes))+0.1, 12)
+		for _, r := range runtimes {
+			h.Add(math.Log10(math.Max(r, 1)))
+		}
+		fmt.Print(h.Render(50))
+		fmt.Println("\nlog2(size) histogram:")
+		h2 := stats.NewHistogram(0, math.Log2(stats.Max(sizes))+0.1, 12)
+		for _, s := range sizes {
+			h2.Add(math.Log2(math.Max(s, 1)))
+		}
+		fmt.Print(h2.Render(50))
+	}
+	return nil
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unnamed)"
+	}
+	return s
+}

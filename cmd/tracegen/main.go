@@ -1,0 +1,103 @@
+// Command tracegen emits synthetic workload traces in Standard Workload
+// Format: either a raw Lublin–Feitelson stream for an arbitrary machine or
+// one of the calibrated platform stand-ins from the paper's Table 5
+// (curie, intrepid, sdsc-blue, ctc-sp2).
+//
+// Usage:
+//
+//	tracegen -cores 256 -days 30 -load 1.05 -seed 1 -out lublin_256.swf
+//	tracegen -platform curie -days 45 -out curie.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/traces"
+	"github.com/hpcsched/gensched/internal/tsafrir"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func main() {
+	var (
+		platform  = flag.String("platform", "", "platform stand-in: curie | intrepid | sdsc-blue | ctc-sp2 (empty = raw Lublin)")
+		cores     = flag.Int("cores", 256, "machine size for raw Lublin traces")
+		days      = flag.Float64("days", 30, "trace duration in days")
+		load      = flag.Float64("load", 0, "target offered load for raw Lublin traces (0 = natural)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		estimates = flag.Bool("estimates", true, "attach Tsafrir user estimates")
+		out       = flag.String("out", "", "output file (empty = stdout)")
+	)
+	flag.Parse()
+	if err := run(*platform, *cores, *days, *load, *seed, *estimates, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platform string, cores int, days, load float64, seed uint64, estimates bool, out string) error {
+	var trace *workload.Trace
+	var err error
+	if platform != "" {
+		spec, err2 := platformSpec(platform)
+		if err2 != nil {
+			return err2
+		}
+		trace, err = traces.Generate(spec, days, seed)
+	} else {
+		trace, err = rawLublin(cores, days, load, seed, estimates)
+	}
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteSWF(w, trace); err != nil {
+		return err
+	}
+	st := trace.ComputeStats()
+	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, %.1f days, util %.1f%%, mean size %.1f cores\n",
+		st.Jobs, st.DurationSec/86400, 100*st.Utilization, st.MeanCores)
+	return nil
+}
+
+func platformSpec(name string) (traces.PlatformSpec, error) {
+	switch strings.ToLower(name) {
+	case "curie":
+		return traces.Curie, nil
+	case "intrepid":
+		return traces.Intrepid, nil
+	case "sdsc-blue", "sdsc":
+		return traces.SDSCBlue, nil
+	case "ctc-sp2", "ctc":
+		return traces.CTCSP2, nil
+	}
+	return traces.PlatformSpec{}, fmt.Errorf("unknown platform %q", name)
+}
+
+func rawLublin(cores int, days, load float64, seed uint64, estimates bool) (*workload.Trace, error) {
+	gen, err := lublin.NewGenerator(lublin.DefaultParams(cores), cores, seed)
+	if err != nil {
+		return nil, err
+	}
+	jobs := gen.Until(days * 24 * 3600)
+	if load > 0 {
+		lublin.CalibrateLoad(jobs, cores, load)
+	}
+	if estimates {
+		if err := tsafrir.Apply(tsafrir.Default(), jobs, seed+1); err != nil {
+			return nil, err
+		}
+	}
+	return &workload.Trace{Name: fmt.Sprintf("lublin_%d", cores), MaxProcs: cores, Jobs: jobs}, nil
+}

@@ -1,0 +1,83 @@
+// Command traindata is workflow 1 of the paper's artifact
+// (training-data-generator): it runs the simulation scheme of §3.2 —
+// tuples of task sets (S, Q), balanced permutation trials, Eq. 3 scores —
+// and writes the resulting score(r, n, s) distribution as CSV in the
+// artifact's format (runtime,#processors,submit time,score).
+//
+// Usage:
+//
+//	traindata -tuples 64 -trials 262144 -out score-distribution.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/trainer"
+)
+
+func main() {
+	var (
+		tuples  = flag.Int("tuples", 16, "number of (S,Q) tuples to score")
+		trials  = flag.Int("trials", 8192, "permutation trials per tuple (paper: 262144)")
+		ssize   = flag.Int("s", 16, "|S|: initial resource-state tasks per tuple")
+		qsize   = flag.Int("q", 32, "|Q|: measured tasks per tuple")
+		cores   = flag.Int("cores", 256, "machine size")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		out     = flag.String("out", "score-distribution.csv", "output CSV (empty = stdout)")
+		dir     = flag.String("dir", "", "campaign mode: write per-tuple files under this directory (artifact layout)")
+		from    = flag.Int("from", 0, "campaign mode: first tuple index")
+		gather  = flag.Bool("gather", false, "campaign mode: join <dir>/training-data/*.csv into -out and exit")
+	)
+	flag.Parse()
+
+	spec := trainer.TupleSpec{
+		SSize: *ssize, QSize: *qsize, Cores: *cores,
+		Params: lublin.DefaultParams(*cores),
+	}
+	cfg := trainer.TrialConfig{Trials: *trials, Workers: *workers}
+	start := time.Now()
+
+	var samples []mlfit.Sample
+	var err error
+	switch {
+	case *dir != "" && *gather:
+		samples, err = trainer.Gather(*dir)
+	case *dir != "":
+		c := trainer.Campaign{Dir: *dir, Spec: spec, Trials: cfg, Seed: *seed}
+		if err := c.Run(*from, *tuples); err != nil {
+			fmt.Fprintln(os.Stderr, "traindata:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "traindata: campaign wrote tuples [%d,%d) under %s in %v\n",
+			*from, *from+*tuples, *dir, time.Since(start).Round(time.Millisecond))
+		return
+	default:
+		samples, err = trainer.ScoreDistribution(*tuples, spec, cfg, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traindata:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traindata:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trainer.WriteScoreCSV(w, samples); err != nil {
+		fmt.Fprintln(os.Stderr, "traindata:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "traindata: %d samples (%d tuples x |Q|=%d, %d trials each) in %v\n",
+		len(samples), *tuples, *qsize, *trials, time.Since(start).Round(time.Millisecond))
+}

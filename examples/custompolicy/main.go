@@ -1,0 +1,86 @@
+// Custompolicy implements the future-work direction of the paper's
+// conclusions (§5): "we could envision the same procedure being applied
+// to obtain custom scheduling policies for a specific HPC platform, using
+// its specific workload traces and architecture configurations."
+//
+// It runs the training pipeline against an SDSC-Blue-like platform
+// (1,152 cores) instead of the paper's generic 256-core configuration,
+// fits a custom policy to that platform's own score distribution, and
+// compares it against the paper's general F1/F2 policies on fresh
+// sequences from the same platform.
+//
+//	go run ./examples/custompolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcsched/gensched/internal/experiments"
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/stats"
+	"github.com/hpcsched/gensched/internal/traces"
+	"github.com/hpcsched/gensched/internal/trainer"
+)
+
+func main() {
+	platform := traces.SDSCBlue
+	fmt.Printf("platform: %s (%d cores, util %.1f%%)\n\n",
+		platform.Name, platform.Cores, 100*platform.TargetUtil)
+
+	// Step 1: score tuples drawn from THIS platform's workload model —
+	// machine size and size distribution differ from the paper's generic
+	// 256-core training setup.
+	fmt.Println("training a custom policy on the platform's own workload model...")
+	spec := trainer.TupleSpec{
+		SSize: 16, QSize: 32,
+		Cores:  platform.Cores,
+		Params: lublin.DefaultParams(platform.Cores),
+	}
+	samples, err := trainer.ScoreDistribution(10, spec, trainer.TrialConfig{Trials: 4096}, 404)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := mlfit.FitAll(samples, mlfit.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := mlfit.TopDistinct(ranked, 1)[0]
+	simp, _ := best.Func.Simplified()
+	fmt.Printf("  custom policy: %s (fitness %.3g, order fidelity %.3f)\n\n",
+		simp.Compact(), best.Rank, mlfit.OrderFidelity(best.Func, samples))
+	custom := sched.Expr("CUSTOM", simp)
+
+	// Step 2: evaluate on fresh sequences from the platform stand-in,
+	// under the most realistic condition (estimates + EASY backfilling).
+	cfg := experiments.QuickConfig()
+	cfg.Seed = 777 // disjoint from the training seed
+	windows, err := experiments.TraceWindows(cfg, platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := experiments.Scenario{
+		ID: "custom", Name: platform.Name, Cores: platform.Cores,
+		UseEstimates: true, Windows: windows,
+	}
+	contenders := []sched.Policy{sched.FCFS(), sched.SPT(), sched.F1(), sched.F2(), custom}
+	res, err := experiments.RunDynamic(sc, contenders, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("median AVEbsld over %d sequences (%s, user estimates):\n", cfg.Sequences, platform.Name)
+	med := res.Medians()
+	for i, p := range res.Policies {
+		fmt.Printf("  %-7s %9.2f\n", p, med[i])
+	}
+	fmt.Printf("\nspread (IQR) — the stability property the paper highlights:\n")
+	for i, p := range res.Policies {
+		b, err := stats.NewBoxplot(res.PerSeq[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s %9.2f\n", p, b.IQR())
+	}
+}

@@ -1,0 +1,59 @@
+// Platformstudy mirrors the paper's real-trace evaluation (§4.3) on the
+// synthetic platform stand-ins: for each of the four Table 5 machines —
+// from the 338-core CTC SP2 of 1997 to the 163,840-core ANL Intrepid of
+// 2009 — schedule disjoint sequences under the most realistic condition
+// (user estimates + EASY backfilling) and report the median average
+// bounded slowdown per policy. The point of the experiment: policies
+// trained once on a 256-core model generalize across wildly different
+// platforms.
+//
+//	go run ./examples/platformstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	gensched "github.com/hpcsched/gensched"
+	"github.com/hpcsched/gensched/internal/experiments"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/traces"
+)
+
+func main() {
+	cfg := experiments.QuickConfig()
+	cfg.Sequences = 3
+	cfg.WindowDays = 5
+
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "platform\tcores\t")
+	for _, p := range gensched.Policies() {
+		fmt.Fprintf(tw, "%s\t", p.Name())
+	}
+	fmt.Fprintln(tw)
+
+	for _, spec := range traces.All() {
+		windows, err := experiments.TraceWindows(cfg, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := experiments.Scenario{
+			ID: spec.Name, Name: spec.Name, Cores: spec.Cores,
+			UseEstimates: true, Backfill: sim.BackfillEASY, Windows: windows,
+		}
+		res, err := experiments.RunDynamic(sc, sched.Registry(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t", spec.Name, spec.Cores)
+		for _, m := range res.Medians() {
+			fmt.Fprintf(tw, "%.1f\t", m)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Println("\nmedian AVEbsld over sequences; estimates + EASY backfilling; lower is better")
+}

@@ -1,0 +1,39 @@
+// Quickstart: generate a day of synthetic cluster workload, schedule it
+// with the classical FCFS policy and with the paper's learned F1 policy,
+// and compare the average bounded slowdowns.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gensched "github.com/hpcsched/gensched"
+)
+
+func main() {
+	const cores = 256
+
+	// A saturated day on a 256-core machine, from the Lublin-Feitelson
+	// workload model (offered load 1.05 — the regime where the choice of
+	// scheduling policy dominates performance).
+	trace, err := gensched.LublinTrace(cores, 1, 1.05, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d jobs on %d cores\n\n", len(trace.Jobs), cores)
+
+	for _, name := range []string{"FCFS", "SPT", "F1"} {
+		res, err := gensched.Simulate(cores, trace.Jobs, gensched.SimOptions{
+			Policy: gensched.MustPolicy(name),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s average bounded slowdown %9.2f   max wait %7.0fs   utilization %.2f\n",
+			name, res.AVEbsld, res.MaxWait, res.Utilization)
+	}
+
+	fmt.Println("\nLower is better: F1 = log10(r)*n + 870*log10(s), Table 3 of the paper.")
+}

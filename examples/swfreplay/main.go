@@ -1,0 +1,75 @@
+// Swfreplay demonstrates the Standard Workload Format round trip the
+// paper's evaluation relies on: write a synthetic trace as SWF (the
+// Parallel Workloads Archive format), parse it back, slice it into
+// disjoint sequences, and replay each sequence through the simulator the
+// way the dynamic scheduling experiments do.
+//
+//	go run ./examples/swfreplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	gensched "github.com/hpcsched/gensched"
+	"os"
+)
+
+func main() {
+	const cores = 128
+
+	// Generate six days of workload and persist it as SWF.
+	trace, err := gensched.LublinTrace(cores, 6, 0.95, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gensched.ApplyEstimates(trace.Jobs, 8); err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gensched.WriteSWF(&buf, trace); err != nil {
+		log.Fatal(err)
+	}
+	path := "replay.swf"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d jobs, %d bytes\n", path, len(trace.Jobs), buf.Len())
+
+	// Parse it back, as any SWF consumer would.
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := gensched.ReadSWF(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := parsed.ComputeStats()
+	fmt.Printf("parsed back: %d jobs, %d cores, util %.1f%%, mean size %.1f cores\n\n",
+		st.Jobs, parsed.MaxProcs, 100*st.Utilization, st.MeanCores)
+
+	// Replay three disjoint 2-day sequences under two policies.
+	windows, err := gensched.SliceWindows(parsed, 2, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"FCFS", "F1"} {
+		fmt.Printf("%s:", name)
+		for i, w := range windows {
+			res, err := gensched.Simulate(parsed.MaxProcs, w, gensched.SimOptions{
+				Policy:       gensched.MustPolicy(name),
+				UseEstimates: true,
+				Backfill:     gensched.BackfillEASY,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  seq%d AVEbsld=%.2f", i+1, res.AVEbsld)
+		}
+		fmt.Println()
+	}
+	_ = os.Remove(path)
+}

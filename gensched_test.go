@@ -1,0 +1,173 @@
+package gensched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPoliciesRegistry(t *testing.T) {
+	ps := Policies()
+	if len(ps) != 8 {
+		t.Fatalf("got %d policies, want 8", len(ps))
+	}
+	if ps[0].Name() != "FCFS" || ps[7].Name() != "F1" {
+		t.Errorf("registry order: %s ... %s", ps[0].Name(), ps[7].Name())
+	}
+}
+
+func TestMustPolicy(t *testing.T) {
+	if MustPolicy("F1").Name() != "F1" {
+		t.Error("MustPolicy(F1) wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPolicy did not panic on unknown name")
+		}
+	}()
+	MustPolicy("NOPE")
+}
+
+func TestLublinTraceAndSimulate(t *testing.T) {
+	trace, err := LublinTrace(64, 2, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Jobs) == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(64, trace.Jobs, SimOptions{Policy: MustPolicy("F1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AVEbsld < 1 {
+		t.Errorf("AVEbsld = %v", res.AVEbsld)
+	}
+	// Natural load requested: pass 0.
+	nat, err := LublinTrace(64, 1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nat.Jobs) == 0 {
+		t.Fatal("empty natural-load trace")
+	}
+}
+
+func TestApplyEstimates(t *testing.T) {
+	trace, err := LublinTrace(64, 1, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyEstimates(trace.Jobs, 9); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range trace.Jobs {
+		if j.Estimate < j.Runtime {
+			t.Fatal("estimate below runtime")
+		}
+	}
+}
+
+func TestSWFRoundTripFacade(t *testing.T) {
+	trace, err := LublinTrace(32, 1, 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(trace.Jobs) {
+		t.Errorf("round trip lost jobs: %d vs %d", len(back.Jobs), len(trace.Jobs))
+	}
+}
+
+func TestTrainAndFitPipeline(t *testing.T) {
+	samples, err := GenerateScoreDistribution(TrainingConfig{Tuples: 2, Trials: 256, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2*32 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	policies, fits, err := FitPolicies(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(policies) != 3 || len(fits) != 3 {
+		t.Fatalf("got %d policies, %d fits", len(policies), len(fits))
+	}
+	if !strings.HasPrefix(policies[0].Name(), "L") {
+		t.Errorf("learned policy name = %q", policies[0].Name())
+	}
+	// Learned policies must be usable in the simulator.
+	trace, err := LublinTrace(256, 1, 1.0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(256, trace.Jobs, SimOptions{Policy: policies[0]}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy("MINE", "log10(r)*n + 870*log10(s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "MINE" {
+		t.Errorf("name = %q", p.Name())
+	}
+	// Must behave identically to the built-in F1.
+	f1 := MustPolicy("F1")
+	views := []JobView{
+		{Runtime: 100, Cores: 8, Submit: 1000},
+		{Runtime: 27000, Cores: 256, Submit: 50},
+		{Runtime: 1, Cores: 1, Submit: 86400},
+	}
+	for _, v := range views {
+		if p.Score(v) != f1.Score(v) {
+			t.Errorf("parsed policy diverges from F1 at %+v", v)
+		}
+	}
+	if _, err := ParsePolicy("BAD", "r +"); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestSliceWindowsFacade(t *testing.T) {
+	trace, err := LublinTrace(64, 4, 0.9, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := SliceWindows(trace, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	for _, w := range ws {
+		for _, j := range w {
+			if j.Submit < 1 || j.Submit > 86401 {
+				t.Fatalf("rebased submit %v out of range", j.Submit)
+			}
+		}
+	}
+}
+
+func TestSplitSeed(t *testing.T) {
+	if SplitSeed(1, 2) == SplitSeed(1, 3) {
+		t.Error("streams collide")
+	}
+	if SplitSeed(1, 2) != SplitSeed(1, 2) {
+		t.Error("not deterministic")
+	}
+}

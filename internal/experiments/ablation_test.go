@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/sched"
+)
+
+func TestLoadSweep(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sequences = 2
+	pols := []sched.Policy{sched.FCFS(), sched.F1()}
+	res, err := LoadSweep(cfg, 256, []float64{0.7, 1.1}, pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medians) != 2 || len(res.Medians[0]) != 2 {
+		t.Fatalf("medians shape = %dx%d", len(res.Medians), len(res.Medians[0]))
+	}
+	// FCFS must degrade sharply from light to saturated load.
+	if res.Medians[1][0] <= res.Medians[0][0] {
+		t.Errorf("FCFS did not degrade with load: %v -> %v", res.Medians[0][0], res.Medians[1][0])
+	}
+	// F1 stays far below FCFS when saturated.
+	if res.Medians[1][1] >= res.Medians[1][0]/5 {
+		t.Errorf("F1 (%v) not well below FCFS (%v) at load 1.1", res.Medians[1][1], res.Medians[1][0])
+	}
+	if out := res.Format(); !strings.Contains(out, "load") || !strings.Contains(out, "FCFS") {
+		t.Errorf("sweep format:\n%s", out)
+	}
+	if _, err := LoadSweep(cfg, 256, nil, pols); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestCrossovers(t *testing.T) {
+	r := &LoadSweepResult{
+		Loads:    []float64{0.5, 1.0, 1.5},
+		Policies: []string{"A", "B"},
+		Medians: [][]float64{
+			{1, 2}, // A below B
+			{3, 2}, // flipped
+			{4, 2}, // stays flipped
+		},
+	}
+	xs := r.Crossovers()
+	if len(xs) != 1 || !strings.Contains(xs[0], "A/B between load 0.50 and 1.00") {
+		t.Errorf("crossovers = %v", xs)
+	}
+}
+
+func TestBackfillGain(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sequences = 2
+	ws, err := ModelWindows(cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{ID: "gain", Name: "gain", Cores: 256, UseEstimates: true, Windows: ws}
+	gains, err := BackfillGain(sc, []sched.Policy{sched.FCFS(), sched.F1()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §4.2.3 observation: FCFS gains far more than F1.
+	if gains["FCFS"] <= gains["F1"] {
+		t.Errorf("FCFS gain %.2f not above F1 gain %.2f", gains["FCFS"], gains["F1"])
+	}
+	if gains["FCFS"] < 2 {
+		t.Errorf("FCFS gain %.2f implausibly small", gains["FCFS"])
+	}
+}

@@ -1,0 +1,275 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4). Each experiment is a pure function of a Config, so the
+// benchmark harness, the CLI tools and the tests all share one
+// implementation. DESIGN.md carries the experiment index mapping figure
+// and table numbers to the functions here.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/stats"
+	"github.com/hpcsched/gensched/internal/traces"
+	"github.com/hpcsched/gensched/internal/tsafrir"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// Config scales the experiments. DefaultConfig reproduces the paper's
+// dimensions; QuickConfig shrinks everything to seconds of CPU for tests
+// and default benchmark runs.
+type Config struct {
+	Seed       uint64
+	Sequences  int     // dynamic scheduling sequences per scenario (paper: 10)
+	WindowDays float64 // sequence length in days (paper: 15)
+	Workers    int     // 0 = GOMAXPROCS
+	ModelLoad  float64 // offered load for the Lublin scenarios (near saturation)
+
+	// Training-side dimensions (Figures 1-2, Table 3).
+	Trials            int   // permutation trials per tuple (paper: 256k)
+	Tuples            int   // tuples in the score distribution
+	ConvergenceCounts []int // trial counts for Figure 2
+	ConvergenceReps   int   // repetitions per count (paper: 10)
+}
+
+// DefaultConfig is the paper-scale configuration (expect minutes to hours).
+func DefaultConfig() Config {
+	return Config{
+		Seed:       20171112, // SC'17 week
+		Sequences:  10,
+		WindowDays: 15,
+		ModelLoad:  1.05,
+		Trials:     256 * 1024,
+		Tuples:     64,
+		ConvergenceCounts: []int{
+			1024, 2048, 4096, 8192, 16384, 32768,
+			65536, 131072, 262144, 524288,
+		},
+		ConvergenceReps: 10,
+	}
+}
+
+// QuickConfig is the reduced configuration used by tests and default
+// benchmark runs (seconds of CPU, same code paths).
+func QuickConfig() Config {
+	return Config{
+		Seed:              20171112,
+		Sequences:         4,
+		WindowDays:        2,
+		ModelLoad:         1.05,
+		Trials:            2048,
+		Tuples:            6,
+		ConvergenceCounts: []int{128, 256, 512, 1024},
+		ConvergenceReps:   4,
+	}
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) windowSec() float64 { return c.WindowDays * 24 * 3600 }
+
+// Scenario is one evaluation setting: a workload cut into sequences plus
+// the scheduling conditions.
+type Scenario struct {
+	ID           string // experiment id, e.g. "fig4a"
+	Name         string // human description
+	Cores        int
+	UseEstimates bool
+	Backfill     sim.BackfillMode
+	Tau          float64 // bounded-slowdown constant; 0 = the paper's 10s
+	Windows      [][]workload.Job
+}
+
+// DynamicResult is the outcome of one dynamic scheduling experiment
+// (§4.2): per-policy AVEbsld across the sequences, plus boxplot summaries.
+type DynamicResult struct {
+	Scenario Scenario
+	Policies []string
+	PerSeq   [][]float64 // [policy][sequence] AVEbsld
+	Boxes    []stats.Boxplot
+}
+
+// Medians returns the per-policy medians — the rows of Table 4.
+func (d *DynamicResult) Medians() []float64 {
+	out := make([]float64, len(d.PerSeq))
+	for i, xs := range d.PerSeq {
+		out[i] = stats.Median(xs)
+	}
+	return out
+}
+
+// ErrNoWindows indicates a scenario with no job sequences.
+var ErrNoWindows = errors.New("experiments: scenario has no sequences")
+
+// RunDynamic executes the dynamic scheduling experiment: every policy
+// schedules every sequence; the (policy, sequence) grid fans out over a
+// worker pool with deterministic assembly.
+func RunDynamic(sc Scenario, policies []sched.Policy, workers int) (*DynamicResult, error) {
+	if len(sc.Windows) == 0 {
+		return nil, ErrNoWindows
+	}
+	if i := emptyWindow(sc.Windows); i >= 0 {
+		return nil, fmt.Errorf("experiments: %s: sequence %d has no jobs", sc.ID, i)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &DynamicResult{
+		Scenario: sc,
+		Policies: sched.Names(policies),
+		PerSeq:   make([][]float64, len(policies)),
+	}
+	for i := range res.PerSeq {
+		res.PerSeq[i] = make([]float64, len(sc.Windows))
+	}
+	type cell struct{ pi, si int }
+	work := make(chan cell)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				r, err := sim.Run(sim.Platform{Cores: sc.Cores}, sc.Windows[c.si], sim.Options{
+					Policy:       policies[c.pi],
+					UseEstimates: sc.UseEstimates,
+					Backfill:     sc.Backfill,
+					Tau:          sc.Tau,
+				})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiments: %s/%s seq %d: %w",
+							sc.ID, policies[c.pi].Name(), c.si, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				res.PerSeq[c.pi][c.si] = r.AVEbsld
+			}
+		}()
+	}
+	for pi := range policies {
+		for si := range sc.Windows {
+			work <- cell{pi, si}
+		}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Boxes = make([]stats.Boxplot, len(policies))
+	for i, xs := range res.PerSeq {
+		b, err := stats.NewBoxplot(xs)
+		if err != nil {
+			return nil, err
+		}
+		res.Boxes[i] = b
+	}
+	return res, nil
+}
+
+// ModelWindows builds the Lublin-model workload for Figures 4–6: a stream
+// for a machine of the given size, calibrated to cfg.ModelLoad, with
+// Tsafrir estimates attached, cut into cfg.Sequences windows. The same
+// windows serve the actual-runtime, estimate and backfilling conditions,
+// as in the paper.
+func ModelWindows(cfg Config, cores int) ([][]workload.Job, error) {
+	params := lublin.DefaultParams(cores)
+	need := cfg.windowSec() * float64(cfg.Sequences)
+	// Two iteration controls keep this robust at every scale:
+	//  - Calibration dilates the clock by an a-priori unknown factor (the
+	//    stream's natural load is heavy-tail dominated and cannot be
+	//    probed reliably from a short prefix), so on a span shortfall the
+	//    generation span grows and the same stream is extended.
+	//  - The model's log-gamma inter-arrival gaps can produce day-long
+	//    lulls, so a window can come out empty at small scales; that
+	//    cannot be fixed by generating longer, so the stream is redrawn
+	//    from the next sub-seed.
+	var lastErr error
+	for draw := 0; draw < 4; draw++ {
+		seed := dist.Split(cfg.Seed, uint64(cores)+uint64(draw)*7919)
+		span := need * 1.05
+		for attempt := 0; attempt < 8; attempt++ {
+			gen, err := lublin.NewGenerator(params, cores, seed)
+			if err != nil {
+				return nil, err
+			}
+			jobs := gen.Until(span)
+			if len(jobs) < 2 {
+				span *= 4
+				continue
+			}
+			lublin.CalibrateLoad(jobs, cores, cfg.ModelLoad)
+			if err := tsafrir.Apply(tsafrir.Default(), jobs, dist.Split(seed, 1)); err != nil {
+				return nil, err
+			}
+			tr := &workload.Trace{Name: fmt.Sprintf("lublin_%d", cores), MaxProcs: cores, Jobs: jobs}
+			windows, err := workload.Windows(tr, cfg.windowSec(), cfg.Sequences, 1)
+			if err == nil {
+				if i := emptyWindow(windows); i >= 0 {
+					lastErr = fmt.Errorf("experiments: model %d cores: window %d empty (arrival lull)", cores, i)
+					break // redraw from the next sub-seed
+				}
+				return windows, nil
+			}
+			lastErr = err
+			got := jobs[len(jobs)-1].Submit - jobs[0].Submit
+			grow := 1.6
+			if got > 0 && need/got > grow {
+				grow = need / got * 1.25
+			}
+			span *= grow
+		}
+	}
+	return nil, fmt.Errorf("experiments: model %d cores: %w", cores, lastErr)
+}
+
+// emptyWindow returns the index of the first empty window, or -1.
+func emptyWindow(windows [][]workload.Job) int {
+	for i, w := range windows {
+		if len(w) == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// TraceWindows builds the synthetic-trace workload for one Table 5
+// platform (Figures 7–9), cut into cfg.Sequences windows. Arrival lulls
+// can leave a window empty at small scales; the stream is then redrawn
+// from the next sub-seed, as in ModelWindows.
+func TraceWindows(cfg Config, spec traces.PlatformSpec) ([][]workload.Job, error) {
+	days := cfg.WindowDays*float64(cfg.Sequences) + cfg.WindowDays
+	var lastErr error
+	for draw := 0; draw < 4; draw++ {
+		tr, err := traces.Generate(spec, days, dist.Split(cfg.Seed, uint64(spec.Cores)+uint64(draw)*7919))
+		if err != nil {
+			return nil, err
+		}
+		windows, err := workload.Windows(tr, cfg.windowSec(), cfg.Sequences, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+		}
+		if i := emptyWindow(windows); i >= 0 {
+			lastErr = fmt.Errorf("experiments: %s: window %d empty (arrival lull)", spec.Name, i)
+			continue
+		}
+		return windows, nil
+	}
+	return nil, lastErr
+}

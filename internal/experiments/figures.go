@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/expr"
+	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/trainer"
+)
+
+// trainingSpec is the paper's training configuration, shared by the
+// Figure 1, Figure 2 and Table 3 experiments.
+func trainingSpec() trainer.TupleSpec { return trainer.DefaultSpec() }
+
+// Fig1 reproduces Figure 1: trial score distributions of example tuples
+// (|S|=16, |Q|=32, 256 cores). It returns one TupleScores per requested
+// example; the paper shows two. The mean line sits at 1/|Q|.
+func Fig1(cfg Config, examples int) ([]*trainer.TupleScores, error) {
+	if examples <= 0 {
+		examples = 2
+	}
+	out := make([]*trainer.TupleScores, 0, examples)
+	for i := 0; i < examples; i++ {
+		tuple, err := trainer.GenerateTuple(trainingSpec(), dist.Split(cfg.Seed, uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		ts, err := trainer.ScoreTuple(tuple, trainer.TrialConfig{
+			Trials:  cfg.Trials,
+			Workers: cfg.workers(),
+			Seed:    dist.Split(cfg.Seed, uint64(1000+i)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}
+
+// Fig2Result is the Figure 2 series: per trial count, the normalized
+// standard deviation of the estimated scores across repetitions.
+type Fig2Result struct {
+	Counts     []int
+	Normalized []float64
+}
+
+// Fig2 reproduces the convergence study of Figure 2.
+func Fig2(cfg Config) (*Fig2Result, error) {
+	tuple, err := trainer.GenerateTuple(trainingSpec(), dist.Split(cfg.Seed, 42))
+	if err != nil {
+		return nil, err
+	}
+	series, err := trainer.Convergence(tuple, cfg.ConvergenceCounts, cfg.ConvergenceReps,
+		trainer.TrialConfig{Workers: cfg.workers(), Seed: dist.Split(cfg.Seed, 43)})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Counts: cfg.ConvergenceCounts, Normalized: series}, nil
+}
+
+// Table3Result is the regression outcome: the score distribution size and
+// the four best-ranked distinct nonlinear functions.
+type Table3Result struct {
+	Samples int
+	Best    []mlfit.Result
+}
+
+// Table3 reproduces Table 3: generate the score distribution from
+// cfg.Tuples tuples × cfg.Trials trials, fit all 576 candidate functions
+// with the Eq. 4 weighting, and keep the four best distinct ones.
+func Table3(cfg Config) (*Table3Result, error) {
+	samples, err := trainer.ScoreDistribution(cfg.Tuples, trainingSpec(),
+		trainer.TrialConfig{Trials: cfg.Trials, Workers: cfg.workers()},
+		dist.Split(cfg.Seed, 7))
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := mlfit.FitAll(samples, mlfit.Options{Workers: cfg.workers()})
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{Samples: len(samples), Best: mlfit.TopDistinct(ranked, 4)}, nil
+}
+
+// Heatmap is one panel of Figure 3: a normalized score grid over two task
+// dimensions with the third held fixed. Lower values (darker in the
+// paper) mean higher scheduling priority.
+type Heatmap struct {
+	Policy   string
+	XLabel   string
+	YLabel   string
+	Xs, Ys   []float64
+	Z        [][]float64 // Z[yi][xi], normalized to [0,1]
+	FixedVar string
+	FixedVal float64
+}
+
+// Fig3 reproduces Figure 3 for the four Table 3 policies: three panels
+// (r×n, r×s, n×s) per policy, each normalized to [0,1] over the grid.
+func Fig3(funcs []expr.Func, names []string, gridSize int) ([]Heatmap, error) {
+	if len(funcs) != len(names) {
+		return nil, fmt.Errorf("experiments: %d functions, %d names", len(funcs), len(names))
+	}
+	if gridSize < 2 {
+		gridSize = 32
+	}
+	linspace := func(lo, hi float64) []float64 {
+		out := make([]float64, gridSize)
+		for i := range out {
+			out[i] = lo + (hi-lo)*float64(i)/float64(gridSize-1)
+		}
+		return out
+	}
+	rs := linspace(1, 2.7e4) // processing time axis of the paper's panels
+	ns := linspace(1, 256)   // cores axis
+	ss := linspace(1, 86400) // submit time axis (first day)
+	const fixedS = 43200.0   // noon
+	const fixedN = 128.0     // half machine
+	const fixedR = 1.35e4    // mid runtime
+	var out []Heatmap
+	for i, f := range funcs {
+		panels := []struct {
+			xl, yl, fv string
+			xs, ys     []float64
+			fixed      float64
+			eval       func(x, y float64) float64
+		}{
+			{"processing time (s)", "cores", "s", rs, ns, fixedS,
+				func(x, y float64) float64 { return f.Eval(x, y, fixedS) }},
+			{"processing time (s)", "submit time (s)", "n", rs, ss, fixedN,
+				func(x, y float64) float64 { return f.Eval(x, fixedN, y) }},
+			{"cores", "submit time (s)", "r", ns, ss, fixedR,
+				func(x, y float64) float64 { return f.Eval(fixedR, x, y) }},
+		}
+		for _, p := range panels {
+			h := Heatmap{
+				Policy: names[i], XLabel: p.xl, YLabel: p.yl,
+				Xs: p.xs, Ys: p.ys, FixedVar: p.fv, FixedVal: p.fixed,
+				Z: make([][]float64, len(p.ys)),
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for yi, y := range p.ys {
+				h.Z[yi] = make([]float64, len(p.xs))
+				for xi, x := range p.xs {
+					v := p.eval(x, y)
+					h.Z[yi][xi] = v
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+			}
+			span := hi - lo
+			if span <= 0 {
+				span = 1
+			}
+			for yi := range h.Z {
+				for xi := range h.Z[yi] {
+					h.Z[yi][xi] = (h.Z[yi][xi] - lo) / span
+				}
+			}
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}

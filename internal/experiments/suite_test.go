@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/sched"
+)
+
+// microConfig keeps BuildSuite affordable in unit tests: tiny windows,
+// few sequences.
+func microConfig() Config {
+	cfg := testConfig()
+	cfg.Sequences = 2
+	cfg.WindowDays = 0.5
+	return cfg
+}
+
+func TestBuildSuiteAndTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite build is seconds of work")
+	}
+	suite, err := BuildSuite(microConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Traces) != 4 {
+		t.Fatalf("suite has %d traces, want 4", len(suite.Traces))
+	}
+	scs := suite.Scenarios()
+	if len(scs) != 18 {
+		t.Fatalf("suite has %d scenarios, want 18", len(scs))
+	}
+	pols := []sched.Policy{sched.FCFS(), sched.F1()}
+	res, err := suite.Table4(pols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 18 || len(res.Results) != 18 {
+		t.Fatalf("table4 has %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Medians) != 2 {
+			t.Fatalf("row %q has %d medians", row.Label, len(row.Medians))
+		}
+		for _, m := range row.Medians {
+			if m < 1 {
+				t.Fatalf("row %q has median %v < 1", row.Label, m)
+			}
+		}
+	}
+	out := res.Format()
+	for _, want := range []string{"Workload model, nmax=256", "Curie", "aggressive backfilling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 4 output missing %q", want)
+		}
+	}
+}
+
+func TestSuiteSharesWindowsAcrossConditions(t *testing.T) {
+	suite := &Suite{
+		Config:    microConfig(),
+		Model256:  dummyWindows(),
+		Model1024: dummyWindows(),
+	}
+	scs := suite.Scenarios()
+	// fig4a, fig5a, fig6a must reference the same windows slice (the
+	// paper re-schedules the same sequences under each condition).
+	if &scs[0].Windows[0][0] != &scs[2].Windows[0][0] || &scs[0].Windows[0][0] != &scs[4].Windows[0][0] {
+		t.Error("model-256 conditions do not share their workload")
+	}
+}

@@ -1,0 +1,194 @@
+// Package expr implements the family of candidate nonlinear functions the
+// paper fits to the score distribution (§3.3):
+//
+//	f = (c1·α(r)) op1 (c2·β(n)) op2 (c3·γ(s))
+//
+// where α, β, γ are the base functions of Table 1 (id, log10, sqrt, inv),
+// op1 and op2 are +, · or ÷, and c1, c2, c3 are coefficients found by
+// weighted nonlinear regression. Operators follow standard precedence
+// (· and ÷ bind tighter than +, multiplicative runs associate left), which
+// reproduces the shapes in Table 3 such as log10(r)·n + K·log10(s).
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Base enumerates the base functions of Table 1.
+type Base int
+
+// Base function identifiers, in the paper's Table 1 order.
+const (
+	BaseID   Base = iota // id(x) = x
+	BaseLog              // log(x) = log10(x)
+	BaseSqrt             // sqrt(x) = √x
+	BaseInv              // inv(x) = 1/x
+	numBases
+)
+
+// clampArg guards the base functions against the singularities at and below
+// zero. Runtimes, core counts and (rebased) submit times are all >= 1 in
+// SWF data, so clamping to 1 changes nothing on real inputs while keeping
+// the regression finite everywhere.
+const minArg = 1.0
+
+// Eval applies the base function with its argument clamped to >= 1.
+func (b Base) Eval(x float64) float64 {
+	if x < minArg || math.IsNaN(x) {
+		x = minArg
+	}
+	switch b {
+	case BaseID:
+		return x
+	case BaseLog:
+		return math.Log10(x)
+	case BaseSqrt:
+		return math.Sqrt(x)
+	case BaseInv:
+		return 1 / x
+	default:
+		panic(fmt.Sprintf("expr: unknown base function %d", int(b)))
+	}
+}
+
+// String returns the Table 1 name of the base function.
+func (b Base) String() string {
+	switch b {
+	case BaseID:
+		return "id"
+	case BaseLog:
+		return "log10"
+	case BaseSqrt:
+		return "sqrt"
+	case BaseInv:
+		return "inv"
+	default:
+		return fmt.Sprintf("base(%d)", int(b))
+	}
+}
+
+// Op enumerates the binary operators of the family.
+type Op int
+
+// Operators, in the paper's order: sum, multiplication, division.
+const (
+	OpAdd Op = iota
+	OpMul
+	OpDiv
+	numOps
+)
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "+"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Apply evaluates the operator. Division guards against zero denominators
+// by substituting a tiny epsilon, so candidate functions stay finite during
+// regression; the guard never triggers on clamped base-function outputs
+// except inv outputs multiplied by tiny coefficients.
+func (o Op) Apply(a, b float64) float64 {
+	switch o {
+	case OpAdd:
+		return a + b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			b = math.SmallestNonzeroFloat64
+		}
+		return a / b
+	default:
+		panic(fmt.Sprintf("expr: unknown operator %d", int(o)))
+	}
+}
+
+// Form is one member of the function family without coefficients: the
+// choice of base functions for r, n, s and the two operators.
+type Form struct {
+	A, B, C  Base // base functions applied to r, n, s respectively
+	Op1, Op2 Op
+}
+
+// String renders the form with unit coefficients, e.g.
+// "log10(r)*id(n)+log10(s)".
+func (f Form) String() string {
+	return fmt.Sprintf("%s(r)%s%s(n)%s%s(s)", f.A, f.Op1, f.B, f.Op2, f.C)
+}
+
+// Terms returns the three base-function values for a sample, in order.
+func (f Form) Terms(r, n, s float64) (a, b, c float64) {
+	return f.A.Eval(r), f.B.Eval(n), f.C.Eval(s)
+}
+
+// Enumerate returns all 4·4·4·3·3 = 576 forms of the family, in a fixed
+// deterministic order (r-base fastest, op2 slowest).
+func Enumerate() []Form {
+	forms := make([]Form, 0, int(numBases)*int(numBases)*int(numBases)*int(numOps)*int(numOps))
+	for op2 := Op(0); op2 < numOps; op2++ {
+		for op1 := Op(0); op1 < numOps; op1++ {
+			for c := Base(0); c < numBases; c++ {
+				for b := Base(0); b < numBases; b++ {
+					for a := Base(0); a < numBases; a++ {
+						forms = append(forms, Form{A: a, B: b, C: c, Op1: op1, Op2: op2})
+					}
+				}
+			}
+		}
+	}
+	return forms
+}
+
+// Func is a form with fitted coefficients: a complete scheduling policy
+// function f(r, n, s).
+type Func struct {
+	Form Form
+	C    [3]float64 // c1, c2, c3
+}
+
+// Eval computes f(r, n, s) honoring standard operator precedence.
+func (f Func) Eval(r, n, s float64) float64 {
+	a, b, c := f.Form.Terms(r, n, s)
+	return f.Form.Combine(f.C, a, b, c)
+}
+
+// Combine applies the coefficient-weighted operator structure to already
+// computed base-function values a = α(r), b = β(n), c = γ(s). The
+// regression engine precomputes base values once per sample and calls
+// Combine in its inner loop.
+func (f Form) Combine(coef [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := coef[0]*a, coef[1]*b, coef[2]*c
+	switch {
+	case f.Op1 != OpAdd:
+		// (t1 op1 t2) then op2: the multiplicative group binds first and
+		// associates left, so ((t1 op1 t2) op2 t3) is also correct when
+		// op2 is multiplicative.
+		return f.Op2.Apply(f.Op1.Apply(t1, t2), t3)
+	case f.Op2 != OpAdd:
+		// t1 + (t2 op2 t3): the multiplicative group on the right binds
+		// before the sum.
+		return t1 + f.Op2.Apply(t2, t3)
+	default:
+		return t1 + t2 + t3
+	}
+}
+
+// String renders the function in the artifact's output style, e.g.
+// "(0.0010 x log10(r)) * (1.0000 x id(n)) + (870.0000 x log10(s))".
+func (f Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "(%.6g x %s(r)) %s (%.6g x %s(n)) %s (%.6g x %s(s))",
+		f.C[0], f.Form.A, f.Form.Op1, f.C[1], f.Form.B, f.Form.Op2, f.C[2], f.Form.C)
+	return sb.String()
+}

@@ -1,0 +1,214 @@
+package expr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcsched/gensched/internal/dist"
+)
+
+func TestBaseEval(t *testing.T) {
+	cases := []struct {
+		b    Base
+		x    float64
+		want float64
+	}{
+		{BaseID, 5, 5},
+		{BaseLog, 100, 2},
+		{BaseSqrt, 16, 4},
+		{BaseInv, 4, 0.25},
+		// Clamping below 1.
+		{BaseLog, 0, 0},
+		{BaseInv, 0, 1},
+		{BaseSqrt, -3, 1},
+		{BaseID, 0.5, 1},
+		{BaseLog, math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := c.b.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s(%v) = %v, want %v", c.b, c.x, got, c.want)
+		}
+	}
+}
+
+func TestBaseEvalAlwaysFinite(t *testing.T) {
+	if err := quick.Check(func(x float64, which uint8) bool {
+		b := Base(which % 4)
+		v := b.Eval(x)
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	if got := OpAdd.Apply(2, 3); got != 5 {
+		t.Errorf("add = %v", got)
+	}
+	if got := OpMul.Apply(2, 3); got != 6 {
+		t.Errorf("mul = %v", got)
+	}
+	if got := OpDiv.Apply(6, 3); got != 2 {
+		t.Errorf("div = %v", got)
+	}
+	if got := OpDiv.Apply(1, 0); math.IsNaN(got) {
+		t.Errorf("div by zero produced NaN")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	forms := Enumerate()
+	if len(forms) != 576 {
+		t.Fatalf("Enumerate returned %d forms, want 576", len(forms))
+	}
+	seen := make(map[Form]bool, len(forms))
+	for _, f := range forms {
+		if seen[f] {
+			t.Fatalf("duplicate form %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+// paperF1 is Table 3's F1: log10(r)·n + 870·log10(s).
+func paperF1() Func {
+	return Func{
+		Form: Form{A: BaseLog, B: BaseID, C: BaseLog, Op1: OpMul, Op2: OpAdd},
+		C:    [3]float64{1, 1, 870},
+	}
+}
+
+func TestEvalPrecedence(t *testing.T) {
+	// F1 shape: (1·log10(r)) · (1·n) + (870·log10(s)).
+	f := paperF1()
+	r, n, s := 100.0, 8.0, 1000.0
+	want := 2*8 + 870*3.0
+	if got := f.Eval(r, n, s); math.Abs(got-want) > 1e-9 {
+		t.Errorf("F1(100,8,1000) = %v, want %v", got, want)
+	}
+
+	// Add-then-mul must bind the right group: c1·A + (c2·B · c3·C).
+	g := Func{
+		Form: Form{A: BaseID, B: BaseID, C: BaseID, Op1: OpAdd, Op2: OpMul},
+		C:    [3]float64{1, 2, 3},
+	}
+	// 5 + (2·7)·(3·11) = 5 + 462.
+	if got := g.Eval(5, 7, 11); math.Abs(got-467) > 1e-9 {
+		t.Errorf("add-mul precedence: got %v, want 467", got)
+	}
+
+	// Mul-then-add: (c1·A · c2·B) + c3·C.
+	h := Func{
+		Form: Form{A: BaseID, B: BaseID, C: BaseID, Op1: OpMul, Op2: OpAdd},
+		C:    [3]float64{1, 2, 3},
+	}
+	if got := h.Eval(5, 7, 11); math.Abs(got-(5*14+33)) > 1e-9 {
+		t.Errorf("mul-add precedence: got %v, want 103", got)
+	}
+
+	// Pure multiplicative chain associates left: ((t1/t2)*t3).
+	k := Func{
+		Form: Form{A: BaseID, B: BaseID, C: BaseID, Op1: OpDiv, Op2: OpMul},
+		C:    [3]float64{1, 1, 1},
+	}
+	if got := k.Eval(10, 5, 3); math.Abs(got-6) > 1e-9 {
+		t.Errorf("div-mul chain: got %v, want 6", got)
+	}
+}
+
+func TestTable3FunctionsBehave(t *testing.T) {
+	// All four Table 3 policies must give lower (better) scores to earlier
+	// submissions and smaller jobs.
+	funcs := []Func{
+		paperF1(),
+		{Form: Form{A: BaseSqrt, B: BaseID, C: BaseLog, Op1: OpMul, Op2: OpAdd}, C: [3]float64{1, 1, 25600}},
+		{Form: Form{A: BaseID, B: BaseID, C: BaseLog, Op1: OpMul, Op2: OpAdd}, C: [3]float64{1, 1, 6.86e6}},
+		{Form: Form{A: BaseID, B: BaseSqrt, C: BaseLog, Op1: OpMul, Op2: OpAdd}, C: [3]float64{1, 1, 5.30e5}},
+	}
+	for i, f := range funcs {
+		if f.Eval(100, 8, 100) >= f.Eval(100, 8, 10000) {
+			t.Errorf("F%d does not prefer earlier submissions", i+1)
+		}
+		if f.Eval(10, 8, 500) >= f.Eval(10000, 8, 500) {
+			t.Errorf("F%d does not prefer shorter tasks", i+1)
+		}
+		if f.Eval(100, 2, 500) >= f.Eval(100, 200, 500) {
+			t.Errorf("F%d does not prefer smaller tasks", i+1)
+		}
+	}
+}
+
+func TestSimplifiedMergesCoefficients(t *testing.T) {
+	raw := Func{
+		Form: Form{A: BaseLog, B: BaseID, C: BaseLog, Op1: OpMul, Op2: OpAdd},
+		C:    [3]float64{-0.0155, -0.0005, 0.00696},
+	}
+	s, ok := raw.Simplified()
+	if !ok {
+		t.Fatal("expected simplification")
+	}
+	scale := raw.C[0] * raw.C[1] // positive: two negatives
+	if math.Abs(s.C[2]-raw.C[2]/scale) > 1e-12 || s.C[0] != 1 || s.C[1] != 1 {
+		t.Errorf("simplified coefficients = %v", s.C)
+	}
+}
+
+func TestSimplifiedRefusesNonPositiveScale(t *testing.T) {
+	raw := Func{
+		Form: Form{A: BaseLog, B: BaseID, C: BaseLog, Op1: OpMul, Op2: OpAdd},
+		C:    [3]float64{-0.01, 0.02, 1},
+	}
+	if _, ok := raw.Simplified(); ok {
+		t.Error("negative scale must not be divided out (it would flip the order)")
+	}
+	add := Func{Form: Form{Op1: OpAdd, Op2: OpAdd}}
+	if _, ok := add.Simplified(); ok {
+		t.Error("pure sums have no multiplicative group to merge")
+	}
+}
+
+func TestSimplifiedPreservesOrderProperty(t *testing.T) {
+	rng := dist.New(77)
+	forms := Enumerate()
+	if err := quick.Check(func(fi uint16, c1, c2, c3 float64) bool {
+		f := Func{Form: forms[int(fi)%len(forms)], C: [3]float64{
+			math.Mod(c1, 100), math.Mod(c2, 100), math.Mod(c3, 100),
+		}}
+		for i := range f.C {
+			if math.IsNaN(f.C[i]) || math.IsInf(f.C[i], 0) {
+				return true
+			}
+		}
+		s, ok := f.Simplified()
+		if !ok {
+			return true
+		}
+		// Compare induced pairwise order on random valid job pairs.
+		for k := 0; k < 30; k++ {
+			r1, n1, s1 := 1+rng.Float64()*1e5, 1+rng.Float64()*255, 1+rng.Float64()*1e5
+			r2, n2, s2 := 1+rng.Float64()*1e5, 1+rng.Float64()*255, 1+rng.Float64()*1e5
+			d1 := f.Eval(r1, n1, s1) - f.Eval(r2, n2, s2)
+			d2 := s.Eval(r1, n1, s1) - s.Eval(r2, n2, s2)
+			if d1 > 1e-9 && d2 < -1e-9 || d1 < -1e-9 && d2 > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	f := paperF1()
+	if got := f.Form.String(); got != "log10(r)*id(n)+log10(s)" {
+		t.Errorf("Form.String() = %q", got)
+	}
+	if got := f.Compact(); got != "log10(r)*n + 870*log10(s)" {
+		t.Errorf("Compact() = %q", got)
+	}
+	if f.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,46 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary strings to the function parser: it must never
+// panic, and anything it accepts must evaluate finitely on clamped inputs
+// and re-parse from its own Compact rendering to an equivalent function.
+func FuzzParse(f *testing.F) {
+	f.Add("log10(r)*n + 870*log10(s)")
+	f.Add("sqrt(r)*n + 2.56e4*log10(s)")
+	f.Add("r*n + 6.86e6*log10(s)")
+	f.Add("3*(1/r) / 2*log10(n) + s")
+	f.Add("r + n + s")
+	f.Add("-2*r + 1.5e-3*n + +4*s")
+	f.Add("")
+	f.Add("r*n*s")
+	f.Add("((((")
+	f.Add("1/0*r + n + s")
+	f.Fuzz(func(t *testing.T, input string) {
+		fn, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		v := fn.Eval(100, 8, 3600)
+		if math.IsNaN(v) {
+			// NaN can only come from NaN coefficients; Parse reads finite
+			// literals, so this would be a bug.
+			t.Fatalf("accepted %q evaluates to NaN", input)
+		}
+		back, err := Parse(fn.Compact())
+		if err != nil {
+			t.Fatalf("Compact() of accepted input %q does not re-parse: %v", input, err)
+		}
+		// Compact renders coefficients with 6 significant digits, so the
+		// round trip is exact to ~1e-6 relative.
+		for _, pt := range [][3]float64{{1, 1, 1}, {500, 16, 7200}} {
+			a, b := fn.Eval(pt[0], pt[1], pt[2]), back.Eval(pt[0], pt[1], pt[2])
+			if math.Abs(a-b) > 1e-5*(1+math.Abs(a)) && !(math.IsInf(a, 0) && math.IsInf(b, 0)) {
+				t.Fatalf("round trip of %q diverges: %v vs %v", input, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a function of the family from its compact textual form, the
+// same syntax Compact produces:
+//
+//	"log10(r)*n + 870*log10(s)"
+//	"sqrt(r)*n + 2.56e4*log10(s)"
+//	"3*r + 0.5*(1/n) + 2*s"
+//
+// Grammar: exactly three terms over the variables r, n, s (in that order),
+// joined by two operators from {+, *, /}; each term is an optional
+// coefficient (with optional '*') applied to a base function of Table 1 —
+// id (bare variable), log10(x), sqrt(x), or inv written (1/x). The result
+// is a ready-to-evaluate Func, so fitted policies can be persisted as
+// plain strings and loaded back.
+func Parse(s string) (Func, error) {
+	p := &parser{input: s, rest: s}
+	terms, ops, err := p.parse()
+	if err != nil {
+		return Func{}, fmt.Errorf("expr: parsing %q: %w", s, err)
+	}
+	if len(terms) != 3 || len(ops) != 2 {
+		return Func{}, fmt.Errorf("expr: parsing %q: need exactly 3 terms, got %d", s, len(terms))
+	}
+	wantVars := []string{"r", "n", "s"}
+	f := Func{}
+	for i, t := range terms {
+		if t.variable != wantVars[i] {
+			return Func{}, fmt.Errorf("expr: parsing %q: term %d must use variable %q, found %q",
+				s, i+1, wantVars[i], t.variable)
+		}
+		f.C[i] = t.coef
+	}
+	f.Form = Form{A: terms[0].base, B: terms[1].base, C: terms[2].base, Op1: ops[0], Op2: ops[1]}
+	return f, nil
+}
+
+// term is one parsed coefficient-times-base-function unit.
+type term struct {
+	coef     float64
+	base     Base
+	variable string
+}
+
+type parser struct {
+	input string
+	rest  string
+}
+
+func (p *parser) parse() ([]term, []Op, error) {
+	var terms []term
+	var ops []Op
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, nil, err
+	}
+	terms = append(terms, t)
+	for {
+		p.skipSpace()
+		if p.rest == "" {
+			return terms, ops, nil
+		}
+		op, err := p.parseOp()
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, nil, err
+		}
+		ops = append(ops, op)
+		terms = append(terms, t)
+	}
+}
+
+func (p *parser) skipSpace() { p.rest = strings.TrimLeft(p.rest, " \t") }
+
+func (p *parser) parseOp() (Op, error) {
+	p.skipSpace()
+	if p.rest == "" {
+		return 0, fmt.Errorf("expected operator, found end of input")
+	}
+	switch p.rest[0] {
+	case '+':
+		p.rest = p.rest[1:]
+		return OpAdd, nil
+	case '*':
+		p.rest = p.rest[1:]
+		return OpMul, nil
+	case '/':
+		p.rest = p.rest[1:]
+		return OpDiv, nil
+	}
+	return 0, fmt.Errorf("expected operator at %q", p.rest)
+}
+
+// parseTerm reads [coef ['*']] base, where base is one of
+// v | log10(v) | sqrt(v) | (1/v) with v in {r, n, s}.
+func (p *parser) parseTerm() (term, error) {
+	p.skipSpace()
+	t := term{coef: 1}
+	// Optional leading coefficient (a number possibly followed by '*').
+	if n, rest, ok := p.peekNumber(); ok {
+		t.coef = n
+		p.rest = rest
+		p.skipSpace()
+		if strings.HasPrefix(p.rest, "*") {
+			p.rest = p.rest[1:]
+			p.skipSpace()
+		} else {
+			// "870log10(s)" without '*' is also accepted.
+		}
+	}
+	switch {
+	case strings.HasPrefix(p.rest, "log10("):
+		v, err := p.parseParenVar(len("log10("))
+		if err != nil {
+			return t, err
+		}
+		t.base, t.variable = BaseLog, v
+	case strings.HasPrefix(p.rest, "sqrt("):
+		v, err := p.parseParenVar(len("sqrt("))
+		if err != nil {
+			return t, err
+		}
+		t.base, t.variable = BaseSqrt, v
+	case strings.HasPrefix(p.rest, "(1/"):
+		v, err := p.parseParenVar(len("(1/"))
+		if err != nil {
+			return t, err
+		}
+		t.base, t.variable = BaseInv, v
+	case strings.HasPrefix(p.rest, "inv("):
+		v, err := p.parseParenVar(len("inv("))
+		if err != nil {
+			return t, err
+		}
+		t.base, t.variable = BaseInv, v
+	case strings.HasPrefix(p.rest, "id("):
+		v, err := p.parseParenVar(len("id("))
+		if err != nil {
+			return t, err
+		}
+		t.base, t.variable = BaseID, v
+	default:
+		v, ok := p.peekVar()
+		if !ok {
+			return t, fmt.Errorf("expected base function at %q", p.rest)
+		}
+		t.base, t.variable = BaseID, v
+	}
+	return t, nil
+}
+
+// parseParenVar consumes prefixLen bytes, then "v)" for a variable v.
+func (p *parser) parseParenVar(prefixLen int) (string, error) {
+	p.rest = p.rest[prefixLen:]
+	v, ok := p.peekVar()
+	if !ok {
+		return "", fmt.Errorf("expected variable at %q", p.rest)
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.rest, ")") {
+		return "", fmt.Errorf("expected ')' at %q", p.rest)
+	}
+	p.rest = p.rest[1:]
+	return v, nil
+}
+
+// peekVar consumes one of the variables r, n, s.
+func (p *parser) peekVar() (string, bool) {
+	p.skipSpace()
+	if p.rest == "" {
+		return "", false
+	}
+	switch p.rest[0] {
+	case 'r', 'n', 's':
+		// Must not be the start of a longer identifier like "sqrt".
+		if len(p.rest) > 1 && isIdentChar(p.rest[1]) {
+			return "", false
+		}
+		v := p.rest[:1]
+		p.rest = p.rest[1:]
+		return v, true
+	}
+	return "", false
+}
+
+// isIdentChar reports whether c could continue an identifier like "sqrt";
+// peekVar uses it to keep the 's' of "sqrt(" from parsing as the variable.
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c == '_'
+}
+
+// peekNumber tries to read a float at the head of rest.
+func (p *parser) peekNumber() (float64, string, bool) {
+	i := 0
+	seenDigit := false
+	for i < len(p.rest) {
+		c := p.rest[i]
+		switch {
+		case c >= '0' && c <= '9':
+			seenDigit = true
+			i++
+		case c == '.', c == '-' && i == 0, c == '+' && i == 0:
+			i++
+		case (c == 'e' || c == 'E') && seenDigit:
+			// Exponent: consume optional sign and digits.
+			j := i + 1
+			if j < len(p.rest) && (p.rest[j] == '+' || p.rest[j] == '-') {
+				j++
+			}
+			k := j
+			for k < len(p.rest) && p.rest[k] >= '0' && p.rest[k] <= '9' {
+				k++
+			}
+			if k == j {
+				// Not an exponent ("e" belonged to something else).
+				goto done
+			}
+			i = k
+			goto done
+		default:
+			goto done
+		}
+	}
+done:
+	if !seenDigit {
+		return 0, "", false
+	}
+	v, err := strconv.ParseFloat(p.rest[:i], 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return v, p.rest[i:], true
+}

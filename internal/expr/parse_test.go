@@ -1,0 +1,101 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParsePaperFunctions(t *testing.T) {
+	cases := []struct {
+		in      string
+		r, n, s float64
+		want    float64
+	}{
+		{"log10(r)*n + 870*log10(s)", 100, 8, 1000, 2*8 + 870*3},
+		{"sqrt(r)*n + 2.56e4*log10(s)", 16, 2, 10, 4*2 + 25600},
+		{"r*n + 6.86e6*log10(s)", 10, 3, 100, 30 + 6.86e6*2},
+		{"r*sqrt(n) + 5.3e5*log10(s)", 5, 16, 10, 20 + 5.3e5},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := f.Eval(c.r, c.n, c.s); math.Abs(got-c.want) > 1e-9*math.Abs(c.want) {
+			t.Errorf("Parse(%q).Eval = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTripsCompact(t *testing.T) {
+	// Every enumerated form with assorted coefficients must survive
+	// Compact -> Parse -> Eval equivalence.
+	coefs := [3]float64{2.5, -0.75, 3e4}
+	for _, form := range Enumerate() {
+		orig := Func{Form: form, C: coefs}
+		parsed, err := Parse(orig.Compact())
+		if err != nil {
+			t.Fatalf("Parse(Compact(%v)) = %v", form, err)
+		}
+		for _, pt := range [][3]float64{{1, 1, 1}, {100, 8, 3600}, {27000, 256, 86400}} {
+			a := orig.Eval(pt[0], pt[1], pt[2])
+			b := parsed.Eval(pt[0], pt[1], pt[2])
+			if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+				t.Fatalf("form %v: round-trip eval %v != %v at %v", form, b, a, pt)
+			}
+		}
+	}
+}
+
+func TestParseForms(t *testing.T) {
+	f, err := Parse("3*(1/r) / 2*log10(n) + s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Form.A != BaseInv || f.Form.B != BaseLog || f.Form.C != BaseID {
+		t.Errorf("bases = %v %v %v", f.Form.A, f.Form.B, f.Form.C)
+	}
+	if f.Form.Op1 != OpDiv || f.Form.Op2 != OpAdd {
+		t.Errorf("ops = %v %v", f.Form.Op1, f.Form.Op2)
+	}
+	if f.C != [3]float64{3, 2, 1} {
+		t.Errorf("coefs = %v", f.C)
+	}
+	// inv() spelling and id() wrappers are accepted too.
+	g, err := Parse("id(r) + inv(n) + 0.5*id(s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Form.B != BaseInv || g.C[2] != 0.5 {
+		t.Errorf("parsed = %+v", g)
+	}
+}
+
+func TestParseNegativeAndExponentCoefficients(t *testing.T) {
+	f, err := Parse("-2*r + 1.5e-3*n + +4*s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.C != [3]float64{-2, 1.5e-3, 4} {
+		t.Errorf("coefs = %v", f.C)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"r + n",            // two terms only
+		"r + n + s + r",    // four terms
+		"n + r + s",        // wrong variable order
+		"r + n * bogus(s)", // unknown base
+		"r + n + log10(s",  // missing paren
+		"r & n + s",        // unknown operator
+		"log10(x) + n + s", // unknown variable
+		"r + n + 3*",       // dangling coefficient
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}

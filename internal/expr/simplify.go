@@ -1,0 +1,81 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Simplified rewrites the function the way the paper presents Table 3:
+// when the r and n terms form a multiplicative group, the product of their
+// coefficients is divided out of the whole function (a positive rescale
+// preserves the induced scheduling order), merging c1, c2, c3 into a single
+// constant in front of the s term — e.g.
+//
+//	(c1·log10(r)) · (c2·n) + (c3·log10(s))  →  log10(r)·n + (c3/(c1·c2))·log10(s).
+//
+// The second return value reports whether a rescale was performed; when the
+// group's scale is non-positive or the structure doesn't allow an
+// order-preserving rescale, the function is returned unchanged.
+func (f Func) Simplified() (Func, bool) {
+	op1, op2 := f.Form.Op1, f.Form.Op2
+	// Only the shape (c1·A(r) op1 c2·B(n)) op2 c3·C(s) with a
+	// multiplicative op1 group and an additive op2 can be rescaled while
+	// provably preserving order: f/k with k>0 is monotone.
+	if op1 == OpAdd || op2 != OpAdd {
+		return f, false
+	}
+	var scale float64
+	switch op1 {
+	case OpMul:
+		scale = f.C[0] * f.C[1]
+	case OpDiv:
+		if f.C[1] == 0 {
+			return f, false
+		}
+		scale = f.C[0] / f.C[1]
+	}
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return f, false
+	}
+	out := f
+	out.C[0] = 1
+	out.C[1] = 1
+	out.C[2] = f.C[2] / scale
+	return out, true
+}
+
+// Compact renders the function in the compact mathematical style of
+// Table 3, dropping unit coefficients and id() wrappers, e.g.
+// "log10(r)*n + 8.70e+02*log10(s)".
+func (f Func) Compact() string {
+	term := func(c float64, b Base, v string) string {
+		var body string
+		switch b {
+		case BaseID:
+			body = v
+		case BaseLog:
+			body = "log10(" + v + ")"
+		case BaseSqrt:
+			body = "sqrt(" + v + ")"
+		case BaseInv:
+			body = "(1/" + v + ")"
+		}
+		if c == 1 {
+			return body
+		}
+		// Six significant digits: compact enough for Table 3 style
+		// display, precise enough that Parse(Compact()) reproduces the
+		// induced scheduling order.
+		return fmt.Sprintf("%.6g*%s", c, body)
+	}
+	t1 := term(f.C[0], f.Form.A, "r")
+	t2 := term(f.C[1], f.Form.B, "n")
+	t3 := term(f.C[2], f.Form.C, "s")
+	j := func(op Op) string {
+		if op == OpAdd {
+			return " + "
+		}
+		return op.String()
+	}
+	return t1 + j(f.Form.Op1) + t2 + j(f.Form.Op2) + t3
+}

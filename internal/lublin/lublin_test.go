@@ -1,0 +1,228 @@
+package lublin
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func TestDefaultParamsValidate(t *testing.T) {
+	for _, cores := range []int{2, 256, 1024, 93312, 163840} {
+		p := DefaultParams(cores)
+		if err := p.Validate(); err != nil {
+			t.Errorf("DefaultParams(%d): %v", cores, err)
+		}
+		if math.Abs(p.UHi-math.Log2(float64(cores))) > 1e-9 {
+			t.Errorf("UHi for %d cores = %v", cores, p.UHi)
+		}
+	}
+	// Cycle weights normalized to mean 1.
+	p := DefaultParams(256)
+	var sum float64
+	for _, w := range p.CycleWeights {
+		sum += w
+	}
+	if math.Abs(sum/24-1) > 1e-9 {
+		t.Errorf("cycle weight mean = %v, want 1", sum/24)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := DefaultParams(256)
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"serial prob", func(p *Params) { p.SerialProb = 1.5 }},
+		{"pow2 prob", func(p *Params) { p.Pow2Prob = -0.1 }},
+		{"size dist", func(p *Params) { p.UMed = p.UHi + 1 }},
+		{"runtime gamma", func(p *Params) { p.A1 = 0 }},
+		{"arrival gamma", func(p *Params) { p.BArr = -1 }},
+		{"runtime clamp", func(p *Params) { p.MaxRuntime = 0.5 }},
+	}
+	for _, c := range cases {
+		p := base
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: bad params accepted", c.name)
+		}
+	}
+}
+
+func TestNewGeneratorErrors(t *testing.T) {
+	p := DefaultParams(256)
+	p.A1 = -1
+	if _, err := NewGenerator(p, 256, 1); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := NewGenerator(DefaultParams(256), 0, 1); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func genJobs(t *testing.T, cores, n int, seed uint64) []workload.Job {
+	t.Helper()
+	g, err := NewGenerator(DefaultParams(cores), cores, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Jobs(n)
+}
+
+func TestJobsShape(t *testing.T) {
+	const cores = 256
+	jobs := genJobs(t, cores, 5000, 42)
+	if len(jobs) != 5000 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	serial, pow2, parallel := 0, 0, 0
+	prev := 0.0
+	for _, j := range jobs {
+		if err := j.Validate(cores); err != nil {
+			t.Fatal(err)
+		}
+		if j.Submit < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = j.Submit
+		if j.Cores == 1 {
+			serial++
+		} else {
+			parallel++
+			if j.Cores&(j.Cores-1) == 0 {
+				pow2++
+			}
+		}
+		if j.Runtime < 1 || j.Runtime > DefaultParams(cores).MaxRuntime {
+			t.Fatalf("runtime %v outside clamp", j.Runtime)
+		}
+		if j.Estimate != j.Runtime {
+			t.Fatal("generator must default to perfect estimates")
+		}
+	}
+	serialFrac := float64(serial) / float64(len(jobs))
+	if math.Abs(serialFrac-0.244) > 0.03 {
+		t.Errorf("serial fraction = %.3f, want about 0.244", serialFrac)
+	}
+	// Power-of-two jobs include the explicit 57.6% plus rounding accidents.
+	pow2Frac := float64(pow2) / float64(parallel)
+	if pow2Frac < 0.55 {
+		t.Errorf("power-of-two fraction = %.3f, want > 0.55", pow2Frac)
+	}
+}
+
+func TestSizeRuntimeCorrelation(t *testing.T) {
+	// The hyper-gamma mixture weight makes big jobs run longer on average
+	// (in log space). Compare mean ln-runtime of small vs large jobs.
+	jobs := genJobs(t, 1024, 8000, 7)
+	var smallSum, largeSum float64
+	var smallN, largeN int
+	for _, j := range jobs {
+		if j.Cores <= 2 {
+			smallSum += math.Log(j.Runtime)
+			smallN++
+		} else if j.Cores >= 64 {
+			largeSum += math.Log(j.Runtime)
+			largeN++
+		}
+	}
+	if smallN == 0 || largeN == 0 {
+		t.Fatal("degenerate size split")
+	}
+	if smallSum/float64(smallN) >= largeSum/float64(largeN) {
+		t.Errorf("small jobs (%d) mean ln r %.2f not below large jobs (%d) %.2f",
+			smallN, smallSum/float64(smallN), largeN, largeSum/float64(largeN))
+	}
+}
+
+func TestDailyCycleShapesArrivals(t *testing.T) {
+	g, err := NewGenerator(DefaultParams(256), 256, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Until(30 * 24 * 3600)
+	if len(jobs) < 500 {
+		t.Fatalf("only %d jobs in 30 days", len(jobs))
+	}
+	day := make([]int, 24)
+	for _, j := range jobs {
+		day[int(math.Mod(j.Submit/3600, 24))]++
+	}
+	night := day[0] + day[1] + day[2] + day[3] + day[4] + day[5]
+	noon := day[10] + day[11] + day[12] + day[13] + day[14] + day[15]
+	if noon <= 2*night {
+		t.Errorf("daytime arrivals (%d) not dominating nighttime (%d)", noon, night)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := genJobs(t, 256, 500, 123)
+	b := genJobs(t, 256, 500, 123)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs across same-seed runs", i)
+		}
+	}
+	c := genJobs(t, 256, 500, 124)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestOfferedLoadAndCalibration(t *testing.T) {
+	jobs := genJobs(t, 256, 4000, 5)
+	for _, target := range []float64{0.6, 0.85, 1.05} {
+		cp := append([]workload.Job(nil), jobs...)
+		factor := CalibrateLoad(cp, 256, target)
+		if factor <= 0 {
+			t.Fatalf("factor = %v", factor)
+		}
+		got := OfferedLoad(cp, 256)
+		if math.Abs(got-target) > 0.01*target {
+			t.Errorf("calibrated load = %.4f, want %.4f", got, target)
+		}
+		// Order preserved.
+		for i := 1; i < len(cp); i++ {
+			if cp[i].Submit < cp[i-1].Submit {
+				t.Fatal("calibration broke arrival order")
+			}
+		}
+		// Runtimes and sizes untouched.
+		for i := range cp {
+			if cp[i].Runtime != jobs[i].Runtime || cp[i].Cores != jobs[i].Cores {
+				t.Fatal("calibration changed job shapes")
+			}
+		}
+	}
+}
+
+func TestOfferedLoadEdgeCases(t *testing.T) {
+	if got := OfferedLoad(nil, 256); got != 0 {
+		t.Errorf("empty load = %v", got)
+	}
+	one := []workload.Job{{Submit: 0, Runtime: 10, Cores: 1}}
+	if got := OfferedLoad(one, 256); got != 0 {
+		t.Errorf("single-job load = %v", got)
+	}
+	if f := CalibrateLoad(one, 256, 1); f != 1 {
+		t.Errorf("degenerate calibration factor = %v", f)
+	}
+}
+
+func TestUntilRespectsDuration(t *testing.T) {
+	g, _ := NewGenerator(DefaultParams(64), 64, 3)
+	jobs := g.Until(24 * 3600)
+	for _, j := range jobs {
+		if j.Submit > 24*3600 {
+			t.Fatalf("job at %v beyond duration", j.Submit)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package mlfit
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/expr"
+	"github.com/hpcsched/gensched/internal/stats"
+)
+
+// CVResult reports k-fold cross-validation of one candidate form: the
+// Eq. 5 rank on each held-out fold plus summary statistics. The paper fits
+// on all data and validates by scheduling; cross-validation is the
+// complementary in-distribution check that a form is not overfitting the
+// score noise.
+type CVResult struct {
+	Form      expr.Form
+	FoldRanks []float64
+	MeanRank  float64
+	StdRank   float64
+}
+
+// CrossValidate runs k-fold cross-validation of form on the samples:
+// fit on k-1 folds, evaluate the Eq. 5 rank on the held-out fold. Folds
+// are assigned by a deterministic shuffle of the samples with seed.
+func CrossValidate(form expr.Form, samples []Sample, k int, opt Options, seed uint64) (CVResult, error) {
+	if k < 2 {
+		return CVResult{}, fmt.Errorf("mlfit: cross-validation needs k >= 2, got %d", k)
+	}
+	if len(samples) < k {
+		return CVResult{}, fmt.Errorf("mlfit: %d samples cannot fill %d folds", len(samples), k)
+	}
+	perm := dist.New(seed).Perm(len(samples))
+	folds := make([][]Sample, k)
+	for i, pi := range perm {
+		folds[i%k] = append(folds[i%k], samples[pi])
+	}
+	res := CVResult{Form: form, FoldRanks: make([]float64, 0, k)}
+	for held := 0; held < k; held++ {
+		train := make([]Sample, 0, len(samples))
+		for fi, f := range folds {
+			if fi != held {
+				train = append(train, f...)
+			}
+		}
+		fit, err := Fit(form, train, opt)
+		if err != nil {
+			return CVResult{}, err
+		}
+		var rank float64
+		for _, s := range folds[held] {
+			rank += math.Abs(fit.Func.Eval(s.R, s.N, s.S) - s.Score)
+		}
+		res.FoldRanks = append(res.FoldRanks, rank/float64(len(folds[held])))
+	}
+	res.MeanRank = stats.Mean(res.FoldRanks)
+	res.StdRank = stats.StdDev(res.FoldRanks)
+	return res, nil
+}
+
+// OrderFidelity returns the Spearman rank correlation between a fitted
+// function's predictions and the observed scores. A scheduling policy
+// only uses the induced *order* of the queue, so this — not the absolute
+// fitting error — is the deployment-relevant quality measure; +1 means
+// the policy sorts tasks exactly as the simulated scores would.
+func OrderFidelity(f expr.Func, samples []Sample) float64 {
+	if len(samples) < 2 {
+		return math.NaN()
+	}
+	pred := make([]float64, len(samples))
+	obs := make([]float64, len(samples))
+	for i, s := range samples {
+		pred[i] = f.Eval(s.R, s.N, s.S)
+		obs[i] = s.Score
+	}
+	return stats.Spearman(pred, obs)
+}

@@ -1,0 +1,115 @@
+package mlfit
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/expr"
+)
+
+func TestCrossValidateRecoversGenerator(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 300, 0.02, 21)
+	cv, err := CrossValidate(f1Form, samples, 5, Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.FoldRanks) != 5 {
+		t.Fatalf("got %d folds", len(cv.FoldRanks))
+	}
+	// Held-out error must stay small relative to the target scale.
+	scale := 0.0
+	for _, s := range samples {
+		scale += math.Abs(s.Score)
+	}
+	scale /= float64(len(samples))
+	if cv.MeanRank > 0.05*scale {
+		t.Errorf("CV rank %v too large (scale %v)", cv.MeanRank, scale)
+	}
+}
+
+func TestCrossValidateDetectsWrongForm(t *testing.T) {
+	// Data from the F1 shape; a structurally wrong form (pure inverse
+	// product) must validate much worse.
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 300, 0.02, 22)
+	good, err := CrossValidate(f1Form, samples, 5, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badForm := expr.Form{A: expr.BaseInv, B: expr.BaseInv, C: expr.BaseInv, Op1: expr.OpMul, Op2: expr.OpMul}
+	bad, err := CrossValidate(badForm, samples, 5, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.MeanRank*10 > bad.MeanRank {
+		t.Errorf("wrong form CV rank %v not clearly above right form %v", bad.MeanRank, good.MeanRank)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 10, 0, 23)
+	if _, err := CrossValidate(f1Form, samples, 1, Options{}, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(f1Form, samples[:3], 5, Options{}, 1); err == nil {
+		t.Error("too few samples accepted")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 100, 0.05, 24)
+	a, err := CrossValidate(f1Form, samples, 4, Options{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(f1Form, samples, 4, Options{}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.FoldRanks {
+		if a.FoldRanks[i] != b.FoldRanks[i] {
+			t.Fatal("cross-validation not deterministic")
+		}
+	}
+}
+
+func TestOrderFidelity(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 200, 0, 25)
+	// The generating function orders its own data perfectly.
+	if rho := OrderFidelity(truth, samples); math.Abs(rho-1) > 1e-9 {
+		t.Errorf("self fidelity = %v, want 1", rho)
+	}
+	// A negated function orders it perfectly backwards.
+	neg := truth
+	neg.C = [3]float64{-1, 1, -870} // -(log10 r * n) - 870 log10 s
+	if rho := OrderFidelity(neg, samples); rho > -0.9 {
+		t.Errorf("negated fidelity = %v, want near -1", rho)
+	}
+	if rho := OrderFidelity(truth, samples[:1]); !math.IsNaN(rho) {
+		t.Errorf("single-sample fidelity = %v, want NaN", rho)
+	}
+}
+
+func TestOrderFidelityOfFittedTop(t *testing.T) {
+	// Fit on noisy data, then measure order fidelity against the
+	// *noise-free* ground truth: the fitted function must recover the true
+	// ordering even though the observations scrambled it slightly.
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	noisy := synthSamples(truth, 250, 0.05, 26)
+	ranked, err := FitAll(noisy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := make([]Sample, len(noisy))
+	for i, s := range noisy {
+		s.Score = truth.Eval(s.R, s.N, s.S)
+		clean[i] = s
+	}
+	if rho := OrderFidelity(ranked[0].Func, clean); rho < 0.97 {
+		t.Errorf("top fit order fidelity vs truth = %v, want > 0.97", rho)
+	}
+}

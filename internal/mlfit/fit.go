@@ -1,0 +1,281 @@
+// Package mlfit is the machine-learning half of the paper (§3.3): it fits
+// every candidate nonlinear function of the expr family to the score
+// distribution produced by the simulation scheme, using weighted
+// least-squares regression (Eq. 4, weight r·n), and ranks the fitted
+// functions by mean absolute error (Eq. 5). The four best become the
+// scheduling policies F1–F4.
+//
+// Every function in the family is linear in *derived* coefficients (each
+// multiplicative group collapses its constants into one), so the fit has a
+// closed-form weighted linear least-squares solution; a Levenberg–
+// Marquardt polish then runs on the original three coefficients, mirroring
+// the artifact's use of SciPy leastsq and guarding against degenerate
+// groupings.
+package mlfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hpcsched/gensched/internal/expr"
+)
+
+// Sample is one observation of scheduling behavior: the task's processing
+// time r, cores n, arrival time s, and simulated score (§3.2, Eq. 3).
+type Sample struct {
+	R, N, S float64
+	Score   float64
+}
+
+// Options configures the regression.
+type Options struct {
+	// Weight returns the regression weight of a sample; nil selects the
+	// paper's r·n weighting (Eq. 4). The unweighted ablation passes a
+	// constant function.
+	Weight func(Sample) float64
+	// Polish enables the Levenberg–Marquardt refinement after the
+	// closed-form solve (default off — the closed form is already the
+	// global optimum; the polish exists for validation and ablations).
+	Polish bool
+	// Workers bounds the fitting parallelism in FitAll;
+	// 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// PaperWeight is the Eq. 4 weight: w(t) = r_t·n_t, emphasizing accurate
+// score estimates for large tasks.
+func PaperWeight(s Sample) float64 { return s.R * s.N }
+
+// Result is one fitted candidate function.
+type Result struct {
+	Func      expr.Func
+	Rank      float64 // Eq. 5: mean |f(r,n,s) − score| over the samples
+	SSE       float64 // weighted sum of squared residuals (Eq. 4)
+	Converged bool
+}
+
+// ErrNoSamples is returned when the training set is empty.
+var ErrNoSamples = errors.New("mlfit: no samples")
+
+// features precomputes the base-function values of each sample for a form.
+type features struct {
+	a, b, c []float64
+	y       []float64
+	w       []float64
+}
+
+func buildFeatures(form expr.Form, samples []Sample, weight func(Sample) float64) features {
+	n := len(samples)
+	f := features{
+		a: make([]float64, n), b: make([]float64, n), c: make([]float64, n),
+		y: make([]float64, n), w: make([]float64, n),
+	}
+	for i, s := range samples {
+		f.a[i], f.b[i], f.c[i] = form.Terms(s.R, s.N, s.S)
+		f.y[i] = s.Score
+		f.w[i] = weight(s)
+	}
+	return f
+}
+
+// derived builds the derived linear features of a form: every
+// multiplicative group contributes a single feature, every additive term
+// its own. expand maps the derived solution back to (c1, c2, c3).
+func derived(form expr.Form, f features) (cols [][]float64, expand func([]float64) [3]float64) {
+	n := len(f.y)
+	mul := func(op expr.Op, xs, ys []float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = op.Apply(xs[i], ys[i])
+		}
+		return out
+	}
+	op1, op2 := form.Op1, form.Op2
+	switch {
+	case op1 == expr.OpAdd && op2 == expr.OpAdd:
+		// c1·A + c2·B + c3·C: already linear.
+		return [][]float64{f.a, f.b, f.c}, func(k []float64) [3]float64 {
+			return [3]float64{k[0], k[1], k[2]}
+		}
+	case op1 != expr.OpAdd && op2 == expr.OpAdd:
+		// (c1·A ∘ c2·B) + c3·C = k1·(A∘B) + k2·C.
+		return [][]float64{mul(op1, f.a, f.b), f.c}, func(k []float64) [3]float64 {
+			return [3]float64{k[0], 1, k[1]}
+		}
+	case op1 == expr.OpAdd && op2 != expr.OpAdd:
+		// c1·A + (c2·B ∘ c3·C) = k1·A + k2·(B∘C).
+		return [][]float64{f.a, mul(op2, f.b, f.c)}, func(k []float64) [3]float64 {
+			return [3]float64{k[0], k[1], 1}
+		}
+	default:
+		// Fully multiplicative chain: one derived coefficient.
+		return [][]float64{mul(op2, mul(op1, f.a, f.b), f.c)}, func(k []float64) [3]float64 {
+			return [3]float64{k[0], 1, 1}
+		}
+	}
+}
+
+// Fit fits one candidate form to the samples and reports its Eq. 5 rank.
+func Fit(form expr.Form, samples []Sample, opt Options) (Result, error) {
+	if len(samples) == 0 {
+		return Result{}, ErrNoSamples
+	}
+	weight := opt.Weight
+	if weight == nil {
+		weight = PaperWeight
+	}
+	f := buildFeatures(form, samples, weight)
+	cols, expand := derived(form, f)
+	k, err := weightedLSQ(cols, f.y, f.w)
+	coef := [3]float64{1, 1, 1}
+	converged := err == nil
+	if err == nil {
+		coef = expand(k)
+	}
+	fn := expr.Func{Form: form, C: coef}
+	if opt.Polish || err != nil {
+		res := LevenbergMarquardt(func(c []float64, out []float64) {
+			cc := [3]float64{c[0], c[1], c[2]}
+			for i := range out {
+				out[i] = f.w[i] * (form.Combine(cc, f.a[i], f.b[i], f.c[i]) - f.y[i])
+			}
+		}, coef[:], len(samples), LMOptions{})
+		fn.C = [3]float64{res.Coef[0], res.Coef[1], res.Coef[2]}
+		converged = res.Converged
+	}
+	out := Result{Func: fn, Converged: converged}
+	for i := range f.y {
+		pred := form.Combine(fn.C, f.a[i], f.b[i], f.c[i])
+		d := pred - f.y[i]
+		out.Rank += math.Abs(d)
+		wd := f.w[i] * d
+		out.SSE += wd * wd
+	}
+	out.Rank /= float64(len(f.y))
+	if math.IsNaN(out.Rank) {
+		out.Rank = math.Inf(1)
+	}
+	return out, nil
+}
+
+// FitAll fits every form of the family (all 576) and returns the results
+// sorted by ascending rank (best fit first). Ties break on the
+// enumeration order, so the output is deterministic. Fitting fans out
+// over a bounded worker pool.
+func FitAll(samples []Sample, opt Options) ([]Result, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	forms := expr.Enumerate()
+	results := make([]Result, len(forms))
+	errs := make([]error, len(forms))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = Fit(forms[i], samples, opt)
+			}
+		}()
+	}
+	for i := range forms {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mlfit: form %v: %w", forms[i], err)
+		}
+	}
+	order := make([]int, len(results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return results[order[x]].Rank < results[order[y]].Rank
+	})
+	sorted := make([]Result, len(results))
+	for i, idx := range order {
+		sorted[i] = results[idx]
+	}
+	return sorted, nil
+}
+
+// TopDistinct filters ranked results down to the first count functions
+// that are *behaviorally* distinct, dropping the algebraically equivalent
+// duplicates the enumeration necessarily contains (the artifact notes
+// equivalent functions share a fitness value; e.g. r/(1/n) ≡ r·n, and
+// both fits land on identical predictions). Equivalence is detected by
+// fingerprinting each fitted function's normalized outputs on a fixed
+// probe grid — robust against purely syntactic differences.
+func TopDistinct(results []Result, count int) []Result {
+	seen := make(map[string]bool)
+	var out []Result
+	for _, r := range results {
+		key := fingerprint(r.Func)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, r)
+		if len(out) == count {
+			break
+		}
+	}
+	return out
+}
+
+// probeGrid spans the training ranges of (r, n, s).
+var probeGrid = func() [][3]float64 {
+	rs := []float64{1, 60, 3600, 27000}
+	ns := []float64{1, 8, 64, 256}
+	ss := []float64{1, 3600, 43200, 86400}
+	var pts [][3]float64
+	for i, r := range rs {
+		for j, n := range ns {
+			// A diagonal slice keeps the grid small but exercises all axes.
+			pts = append(pts, [3]float64{r, n, ss[(i+j)%len(ss)]})
+		}
+	}
+	return pts
+}()
+
+// fingerprint encodes a function's shape: its probe-grid outputs shifted
+// and scaled to [0,1] (so order-preserving rescales collapse to one key)
+// and quantized to absorb float noise.
+func fingerprint(f expr.Func) string {
+	vals := make([]float64, len(probeGrid))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, p := range probeGrid {
+		v := f.Eval(p[0], p[1], p[2])
+		vals[i] = v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span <= 0 || math.IsNaN(span) || math.IsInf(span, 0) {
+		span = 1
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		q := int64(math.Round((v - lo) / span * 1e5))
+		fmt.Fprintf(&sb, "%d,", q)
+	}
+	return sb.String()
+}

@@ -1,0 +1,227 @@
+package mlfit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/expr"
+)
+
+// f1Form is the shape of the paper's F1: log10(r)·n + K·log10(s).
+var f1Form = expr.Form{A: expr.BaseLog, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd}
+
+// synthSamples draws samples from a ground-truth function with optional
+// relative noise.
+func synthSamples(truth expr.Func, n int, noise float64, seed uint64) []Sample {
+	rng := dist.New(seed)
+	out := make([]Sample, n)
+	for i := range out {
+		r := math.Exp(rng.Float64() * 10)       // 1 .. ~22000 s
+		cores := math.Ceil(rng.Float64() * 256) // 1 .. 256
+		s := 1 + rng.Float64()*86400            // first day
+		y := truth.Eval(r, cores, s)
+		if noise > 0 {
+			y *= 1 + noise*(rng.Float64()*2-1)
+		}
+		out[i] = Sample{R: r, N: cores, S: s, Score: y}
+	}
+	return out
+}
+
+func TestFitRecoversExactFunction(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{2, 3, 100}}
+	samples := synthSamples(truth, 400, 0, 1)
+	res, err := Fit(f1Form, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The coefficient split (2,3) vs (6,1) is not identifiable, but the
+	// function values are: predictions must match everywhere.
+	for _, s := range samples[:50] {
+		got := res.Func.Eval(s.R, s.N, s.S)
+		if math.Abs(got-s.Score) > 1e-6*(1+math.Abs(s.Score)) {
+			t.Fatalf("prediction %v != truth %v at (%v,%v,%v)", got, s.Score, s.R, s.N, s.S)
+		}
+	}
+	if res.Rank > 1e-6 {
+		t.Errorf("rank = %v, want ~0", res.Rank)
+	}
+}
+
+func TestFitWithPolishMatchesClosedForm(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 300, 0, 2)
+	plain, err := Fit(f1Form, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	polished, err := Fit(f1Form, samples, Options{Polish: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polished.Rank > plain.Rank+1e-9 {
+		t.Errorf("polish degraded rank: %v vs %v", polished.Rank, plain.Rank)
+	}
+}
+
+func TestFitAdditiveForm(t *testing.T) {
+	form := expr.Form{A: expr.BaseSqrt, B: expr.BaseLog, C: expr.BaseID, Op1: expr.OpAdd, Op2: expr.OpAdd}
+	truth := expr.Func{Form: form, C: [3]float64{0.5, -2, 3e-4}}
+	samples := synthSamples(truth, 500, 0, 3)
+	res, err := Fit(form, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.C {
+		if math.Abs(res.Func.C[i]-truth.C[i]) > 1e-6*(1+math.Abs(truth.C[i])) {
+			t.Errorf("coef[%d] = %v, want %v", i, res.Func.C[i], truth.C[i])
+		}
+	}
+}
+
+func TestFitDivisionForm(t *testing.T) {
+	form := expr.Form{A: expr.BaseID, B: expr.BaseSqrt, C: expr.BaseLog, Op1: expr.OpDiv, Op2: expr.OpAdd}
+	truth := expr.Func{Form: form, C: [3]float64{4, 2, 50}} // (4r)/(2√n) + 50·log10(s)
+	samples := synthSamples(truth, 400, 0, 4)
+	res, err := Fit(form, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rank > 1e-6*PaperWeight(samples[0]) {
+		t.Errorf("rank = %v, want ~0", res.Rank)
+	}
+	for _, s := range samples[:20] {
+		got := res.Func.Eval(s.R, s.N, s.S)
+		if math.Abs(got-s.Score) > 1e-6*(1+math.Abs(s.Score)) {
+			t.Fatalf("prediction mismatch: %v vs %v", got, s.Score)
+		}
+	}
+}
+
+func TestFitEmptySamples(t *testing.T) {
+	if _, err := Fit(f1Form, nil, Options{}); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+	if _, err := FitAll(nil, Options{}); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestFitAllRanksGeneratingFormFirst(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 300, 0.02, 5) // slight noise
+	results, err := FitAll(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 576 {
+		t.Fatalf("got %d results, want 576", len(results))
+	}
+	// Ranks ascend.
+	for i := 1; i < len(results); i++ {
+		if results[i].Rank < results[i-1].Rank {
+			t.Fatal("results not sorted by rank")
+		}
+	}
+	// The best fit must essentially explain the data, and its compact
+	// simplified shape must be the generating one.
+	best := results[0]
+	simp, _ := best.Func.Simplified()
+	if !strings.Contains(simp.Compact(), "log10(r)*n") {
+		t.Errorf("best form = %s (rank %v), want log10(r)*n + K*log10(s) family",
+			simp.Compact(), best.Rank)
+	}
+}
+
+func TestFitAllDeterministic(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 150, 0.05, 6)
+	a, err := FitAll(samples, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitAll(samples, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Func != b[i].Func || a[i].Rank != b[i].Rank {
+			t.Fatalf("result %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestTopDistinct(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 200, 0.05, 7)
+	results, err := FitAll(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopDistinct(results, 4)
+	if len(top) != 4 {
+		t.Fatalf("got %d distinct, want 4", len(top))
+	}
+	seen := map[string]bool{}
+	for _, r := range top {
+		s, _ := r.Func.Simplified()
+		key := s.Compact()
+		if seen[key] {
+			t.Errorf("duplicate compact form %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestWeightingChangesFit(t *testing.T) {
+	// Corrupt the scores of small tasks; the r·n weighting should shrug it
+	// off while the unweighted fit gets dragged.
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 600, 0, 8)
+	for i := range samples {
+		if samples[i].R*samples[i].N < 1000 {
+			samples[i].Score *= 5
+		}
+	}
+	weighted, err := Fit(f1Form, samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unweighted, err := Fit(f1Form, samples, Options{Weight: func(Sample) float64 { return 1 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate both on large tasks only: the weighted fit must be better.
+	var werr, uerr float64
+	var count int
+	for _, s := range samples {
+		if s.R*s.N < 1000 {
+			continue
+		}
+		werr += math.Abs(weighted.Func.Eval(s.R, s.N, s.S) - s.Score)
+		uerr += math.Abs(unweighted.Func.Eval(s.R, s.N, s.S) - s.Score)
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no large tasks in sample")
+	}
+	if werr >= uerr {
+		t.Errorf("weighted error %v not below unweighted %v on large tasks", werr, uerr)
+	}
+}
+
+func TestFitRankAlwaysFinite(t *testing.T) {
+	truth := expr.Func{Form: f1Form, C: [3]float64{1, 1, 870}}
+	samples := synthSamples(truth, 100, 0.3, 9)
+	for _, form := range expr.Enumerate() {
+		res, err := Fit(form, samples, Options{})
+		if err != nil {
+			t.Fatalf("form %v: %v", form, err)
+		}
+		if math.IsNaN(res.Rank) {
+			t.Fatalf("form %v: NaN rank", form)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package mlfit
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular indicates a (numerically) singular linear system.
+var ErrSingular = errors.New("mlfit: singular system")
+
+// solveDense solves A·x = b in place by Gaussian elimination with partial
+// pivoting. A is row-major n×n; A and b are clobbered. The fitted systems
+// are at most 3×3 (the three coefficients of a candidate function), so no
+// sophistication is needed — only numerical care.
+func solveDense(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("mlfit: malformed system")
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 || math.IsNaN(best) {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * x[k]
+		}
+		x[r] = sum / a[r][r]
+		if math.IsNaN(x[r]) || math.IsInf(x[r], 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// weightedLSQ solves the weighted linear least-squares problem
+// min Σ_i (w_i·(Σ_k x_k·feat[k][i] − y_i))² via the normal equations with a
+// tiny ridge for rank safety. feat is column-major: feat[k] is feature k's
+// values across samples.
+func weightedLSQ(feat [][]float64, y, w []float64) ([]float64, error) {
+	k := len(feat)
+	if k == 0 {
+		return nil, errors.New("mlfit: no features")
+	}
+	n := len(y)
+	ata := make([][]float64, k)
+	atb := make([]float64, k)
+	for i := range ata {
+		ata[i] = make([]float64, k)
+	}
+	for i := 0; i < n; i++ {
+		w2 := w[i] * w[i]
+		for r := 0; r < k; r++ {
+			fr := feat[r][i]
+			atb[r] += w2 * fr * y[i]
+			for c := r; c < k; c++ {
+				ata[r][c] += w2 * fr * feat[c][i]
+			}
+		}
+	}
+	for r := 0; r < k; r++ {
+		for c := 0; c < r; c++ {
+			ata[r][c] = ata[c][r]
+		}
+	}
+	// Column equilibration: scale each feature to unit weighted norm
+	// before solving. Feature magnitudes here span ~12 orders (inv(r)
+	// against r·n-weighted id(s)), which would otherwise wreck the
+	// conditioning of the normal equations.
+	norm := make([]float64, k)
+	for r := 0; r < k; r++ {
+		norm[r] = math.Sqrt(ata[r][r])
+		if norm[r] == 0 || math.IsNaN(norm[r]) {
+			norm[r] = 1
+		}
+	}
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			ata[r][c] /= norm[r] * norm[c]
+		}
+		atb[r] /= norm[r]
+		ata[r][r] += 1e-12 // ridge on the equilibrated (unit) diagonal
+	}
+	x, err := solveDense(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < k; r++ {
+		x[r] /= norm[r]
+	}
+	return x, nil
+}

@@ -1,0 +1,146 @@
+package mlfit
+
+import "math"
+
+// LMOptions tunes the Levenberg–Marquardt optimizer. Zero values select
+// the defaults in parentheses.
+type LMOptions struct {
+	MaxIter   int     // maximum accepted iterations (100)
+	Tol       float64 // relative SSE improvement to declare convergence (1e-12)
+	InitLamda float64 // initial damping (1e-3)
+}
+
+// LMResult reports the optimizer outcome.
+type LMResult struct {
+	Coef      []float64
+	SSE       float64
+	Iters     int
+	Converged bool
+}
+
+// LevenbergMarquardt minimizes Σ residᵢ(c)² over c, starting from c0.
+// eval must fill out with the residual vector at c. It is the stdlib-only
+// equivalent of SciPy's leastsq used by the paper's artifact: damped
+// Gauss–Newton steps with a numerically differentiated Jacobian.
+func LevenbergMarquardt(eval func(c []float64, out []float64), c0 []float64, nRes int, opt LMOptions) LMResult {
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 100
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-12
+	}
+	if opt.InitLamda <= 0 {
+		opt.InitLamda = 1e-3
+	}
+	np := len(c0)
+	c := append([]float64(nil), c0...)
+	res := make([]float64, nRes)
+	trial := make([]float64, nRes)
+	jac := make([][]float64, np) // jac[k][i] = ∂res_i/∂c_k
+	for k := range jac {
+		jac[k] = make([]float64, nRes)
+	}
+	pert := make([]float64, np)
+
+	eval(c, res)
+	sse := sumSquares(res)
+	if math.IsNaN(sse) || math.IsInf(sse, 0) {
+		return LMResult{Coef: c, SSE: math.Inf(1)}
+	}
+	lambda := opt.InitLamda
+	result := LMResult{}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		result.Iters = iter + 1
+		// Forward-difference Jacobian.
+		copy(pert, c)
+		for k := 0; k < np; k++ {
+			h := 1e-6 * math.Max(math.Abs(c[k]), 1e-8)
+			pert[k] = c[k] + h
+			eval(pert, trial)
+			inv := 1 / h
+			for i := 0; i < nRes; i++ {
+				jac[k][i] = (trial[i] - res[i]) * inv
+			}
+			pert[k] = c[k]
+		}
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀres.
+		jtj := make([][]float64, np)
+		jtr := make([]float64, np)
+		for r := 0; r < np; r++ {
+			jtj[r] = make([]float64, np)
+			for cc := r; cc < np; cc++ {
+				var s float64
+				for i := 0; i < nRes; i++ {
+					s += jac[r][i] * jac[cc][i]
+				}
+				jtj[r][cc] = s
+			}
+			var s float64
+			for i := 0; i < nRes; i++ {
+				s += jac[r][i] * res[i]
+			}
+			jtr[r] = -s
+		}
+		for r := 0; r < np; r++ {
+			for cc := 0; cc < r; cc++ {
+				jtj[r][cc] = jtj[cc][r]
+			}
+		}
+		improved := false
+		for attempt := 0; attempt < 20; attempt++ {
+			sys := make([][]float64, np)
+			rhs := append([]float64(nil), jtr...)
+			for r := 0; r < np; r++ {
+				sys[r] = append([]float64(nil), jtj[r]...)
+				damp := lambda * jtj[r][r]
+				if damp == 0 {
+					damp = lambda * 1e-12
+				}
+				sys[r][r] += damp
+			}
+			delta, err := solveDense(sys, rhs)
+			if err == nil {
+				cand := make([]float64, np)
+				for k := range cand {
+					cand[k] = c[k] + delta[k]
+				}
+				eval(cand, trial)
+				candSSE := sumSquares(trial)
+				if !math.IsNaN(candSSE) && candSSE < sse {
+					copy(c, cand)
+					copy(res, trial)
+					rel := (sse - candSSE) / math.Max(sse, 1e-300)
+					sse = candSSE
+					lambda = math.Max(lambda/10, 1e-12)
+					improved = true
+					if rel < opt.Tol {
+						result.Converged = true
+					}
+					break
+				}
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+		if !improved {
+			result.Converged = true
+			break
+		}
+		if result.Converged {
+			break
+		}
+	}
+	result.Coef = c
+	result.SSE = sse
+	return result
+}
+
+func sumSquares(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x * x
+	}
+	return s
+}

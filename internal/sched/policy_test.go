@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func view(r, n, s, w float64) JobView {
+	return JobView{Runtime: r, Cores: n, Submit: s, Wait: w}
+}
+
+func TestFCFSOrdersByArrival(t *testing.T) {
+	p := FCFS()
+	if p.Score(view(1, 1, 100, 0)) >= p.Score(view(1e6, 256, 200, 0)) {
+		t.Error("FCFS must prefer earlier arrivals regardless of size")
+	}
+	if p.TimeVarying() {
+		t.Error("FCFS is not time-varying")
+	}
+}
+
+func TestSPTOrdersByRuntime(t *testing.T) {
+	p := SPT()
+	if p.Score(view(10, 256, 999, 0)) >= p.Score(view(1000, 1, 0, 0)) {
+		t.Error("SPT must prefer shorter tasks")
+	}
+}
+
+func TestLPTIsReverseSPT(t *testing.T) {
+	spt, lpt := SPT(), LPT()
+	a, b := view(10, 1, 0, 0), view(500, 1, 0, 0)
+	if (spt.Score(a) < spt.Score(b)) == (lpt.Score(a) < lpt.Score(b)) {
+		t.Error("LPT must reverse SPT's preference")
+	}
+}
+
+func TestSAFOrdersByArea(t *testing.T) {
+	p := SAF()
+	if p.Score(view(10, 10, 0, 0)) >= p.Score(view(1000, 10, 0, 0)) {
+		t.Error("SAF must prefer smaller area")
+	}
+	if p.Score(view(10, 2, 0, 0)) >= p.Score(view(10, 200, 0, 0)) {
+		t.Error("SAF must prefer fewer cores at equal runtime")
+	}
+}
+
+func TestWFP3AgingAndShape(t *testing.T) {
+	p := WFP3()
+	if !p.TimeVarying() {
+		t.Error("WFP3 depends on waiting time")
+	}
+	// Longer wait => lower (better) score.
+	if p.Score(view(100, 4, 0, 1000)) >= p.Score(view(100, 4, 0, 10)) {
+		t.Error("WFP3 must favor tasks that waited longer")
+	}
+	// At equal wait/runtime ratio, more cores => better score (anti-starvation
+	// of large tasks, per Tang et al.).
+	if p.Score(view(100, 64, 0, 500)) >= p.Score(view(100, 2, 0, 500)) {
+		t.Error("WFP3 must favor larger tasks at equal w/r")
+	}
+	// Zero wait gives the neutral score 0.
+	if got := p.Score(view(100, 64, 0, 0)); got != 0 {
+		t.Errorf("WFP3 zero-wait score = %v, want 0", got)
+	}
+}
+
+func TestUNICEFShape(t *testing.T) {
+	p := UNICEF()
+	// Favors long-waiting tasks.
+	if p.Score(view(100, 4, 0, 1000)) >= p.Score(view(100, 4, 0, 10)) {
+		t.Error("UNICEF must favor tasks that waited longer")
+	}
+	// Favors small tasks: smaller r·log2(n) divisor strengthens -w/x.
+	if p.Score(view(10, 2, 0, 100)) >= p.Score(view(10000, 2, 0, 100)) {
+		t.Error("UNICEF must favor shorter tasks at equal wait")
+	}
+	// Serial task does not blow up.
+	if got := p.Score(view(10, 1, 0, 100)); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("UNICEF serial score = %v, want finite", got)
+	}
+}
+
+func TestLearnedPoliciesPreferSmallEarly(t *testing.T) {
+	for _, p := range []Policy{F1(), F2(), F3(), F4()} {
+		if p.TimeVarying() {
+			t.Errorf("%s must not be time-varying", p.Name())
+		}
+		if p.Score(view(10, 4, 100, 0)) >= p.Score(view(10000, 4, 100, 0)) {
+			t.Errorf("%s must prefer shorter tasks", p.Name())
+		}
+		if p.Score(view(10, 2, 100, 0)) >= p.Score(view(10, 200, 100, 0)) {
+			t.Errorf("%s must prefer smaller tasks", p.Name())
+		}
+		if p.Score(view(10, 4, 10, 0)) >= p.Score(view(10, 4, 10000, 0)) {
+			t.Errorf("%s must prefer earlier submissions", p.Name())
+		}
+	}
+}
+
+func TestF1DominatedBySubmitTime(t *testing.T) {
+	// The paper stresses the large constant before log10(s): a modest
+	// difference in arrival time outweighs a huge size difference.
+	p := F1()
+	early := view(27000, 256, 100, 0) // big but early
+	late := view(10, 1, 10000, 0)     // tiny but much later
+	if p.Score(early) >= p.Score(late) {
+		t.Error("F1's log10(s) term must dominate for large arrival gaps")
+	}
+}
+
+func TestMultifactor(t *testing.T) {
+	p := Multifactor(MultifactorWeights{Age: 1, Size: 100, Short: 1000, MachineCores: 256})
+	if !p.TimeVarying() {
+		t.Error("multifactor with age weight is time-varying")
+	}
+	// Older job wins with pure-age weights.
+	age := Multifactor(MultifactorWeights{Age: 1, MachineCores: 256})
+	if age.Score(view(10, 1, 0, 100)) >= age.Score(view(10, 1, 0, 1)) {
+		t.Error("age factor must favor older jobs")
+	}
+	// Smaller job wins with pure-size weights.
+	size := Multifactor(MultifactorWeights{Size: 1, MachineCores: 256})
+	if size.Score(view(10, 1, 0, 0)) >= size.Score(view(10, 256, 0, 0)) {
+		t.Error("size factor must favor smaller jobs")
+	}
+	if size.TimeVarying() {
+		t.Error("multifactor without age weight is not time-varying")
+	}
+}
+
+func TestFixedOrder(t *testing.T) {
+	p := FixedOrder(map[int]int{7: 0, 3: 1, 9: 2})
+	v := view(1, 1, 50, 0)
+	if p.ScoreID(7, v) >= p.ScoreID(3, v) || p.ScoreID(3, v) >= p.ScoreID(9, v) {
+		t.Error("FixedOrder must order by rank")
+	}
+	// Unknown IDs sort after known ones.
+	if p.ScoreID(42, v) <= p.ScoreID(9, v) {
+		t.Error("unknown IDs must sort last")
+	}
+}
+
+func TestRegistryOrderMatchesFigures(t *testing.T) {
+	want := []string{"FCFS", "WFP3", "UNICEF", "SPT", "F4", "F3", "F2", "F1"}
+	got := Names(Registry())
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d policies, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"FCFS", "SPT", "WFP3", "UNICEF", "F1", "F2", "F3", "F4", "LPT", "SAF", "WFP", "UNI", "EASY"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSortQueueDeterministicTieBreak(t *testing.T) {
+	p := New("CONST", false, func(JobView) float64 { return 1 })
+	ids := []int{5, 2, 9, 1}
+	views := []JobView{view(1, 1, 30, 0), view(1, 1, 10, 0), view(1, 1, 10, 0), view(1, 1, 20, 0)}
+	SortQueue(p, ids, views)
+	// All scores equal: order by (submit, id) = (10,2),(10,9),(20,1),(30,5).
+	want := []int{2, 9, 1, 5}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSortQueueUsesFixedOrderIDs(t *testing.T) {
+	p := FixedOrder(map[int]int{1: 2, 2: 0, 3: 1})
+	ids := []int{1, 2, 3}
+	views := []JobView{view(1, 1, 0, 0), view(1, 1, 0, 0), view(1, 1, 0, 0)}
+	SortQueue(p, ids, views)
+	if ids[0] != 2 || ids[1] != 3 || ids[2] != 1 {
+		t.Fatalf("ids = %v, want [2 3 1]", ids)
+	}
+}
+
+func TestSortQueueSortedProperty(t *testing.T) {
+	p := SPT()
+	if err := quick.Check(func(runtimes []float64) bool {
+		ids := make([]int, 0, len(runtimes))
+		views := make([]JobView, 0, len(runtimes))
+		for i, r := range runtimes {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				continue
+			}
+			ids = append(ids, i)
+			views = append(views, view(math.Abs(math.Mod(r, 1e6)), 1, float64(i), 0))
+		}
+		SortQueue(p, ids, views)
+		for i := 1; i < len(views); i++ {
+			if views[i-1].Runtime > views[i].Runtime {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestRandomPolicyDeterministic(t *testing.T) {
+	p := Random(42)
+	v := view(100, 4, 50, 0)
+	if p.Score(v) != p.Score(v) {
+		t.Error("same view must score identically")
+	}
+	q := Random(42)
+	if p.Score(v) != q.Score(v) {
+		t.Error("same seed must reproduce scores")
+	}
+	r := Random(43)
+	same := 0
+	for i := 0; i < 20; i++ {
+		w := view(float64(100+i), 4, 50, 0)
+		if p.Score(w) == r.Score(w) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds matched on %d of 20 views", same)
+	}
+}
+
+func TestRandomPolicySpread(t *testing.T) {
+	// Scores must spread over [0,1) rather than collapse.
+	p := Random(7)
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		s := p.Score(view(float64(i+1), float64(i%8+1), float64(i*13), 0))
+		if s < 0 || s >= 1 {
+			t.Fatalf("score %v outside [0,1)", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 90 {
+		t.Errorf("only %d distinct scores out of 100", len(seen))
+	}
+	if p.TimeVarying() {
+		t.Error("random policy is not time-varying")
+	}
+	if p.Name() != "RANDOM" {
+		t.Error("name wrong")
+	}
+}

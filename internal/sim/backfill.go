@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// timeEps absorbs floating-point noise when comparing schedule times.
+const timeEps = 1e-9
+
+// perceivedFinish is when the scheduler believes a running task will end:
+// its start plus the perceived runtime, clamped to now (a task that outran
+// its estimate is believed to end imminently, the standard EASY treatment).
+func (e *engine) perceivedFinish(ti int) float64 {
+	t := &e.tasks[ti]
+	pf := t.start + t.perceived
+	if pf < e.now {
+		pf = e.now
+	}
+	return pf
+}
+
+// headReservation computes the EASY reservation for the queue head: the
+// shadow time (earliest moment enough cores are believed free for it) and
+// the number of extra cores (free at the shadow time beyond what the head
+// needs). Backfill candidates must either finish by the shadow time or fit
+// within the extra cores.
+func (e *engine) headReservation() (shadow float64, extra int) {
+	head := &e.tasks[e.queue[0]]
+	type rel struct {
+		at    float64
+		cores int
+	}
+	rels := make([]rel, 0, len(e.running))
+	for _, ri := range e.running {
+		rels = append(rels, rel{at: e.perceivedFinish(ri), cores: e.tasks[ri].job.Cores})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].at < rels[j].at })
+	free := e.free
+	for _, r := range rels {
+		free += r.cores
+		if free >= head.job.Cores {
+			return r.at, free - head.job.Cores
+		}
+	}
+	// Unreachable when job sizes are validated against the platform, but
+	// degrade gracefully: no extra cores, head never starts.
+	return math.Inf(1), 0
+}
+
+// easyBackfill implements aggressive (EASY) backfilling: scan the queue
+// behind the blocked head and start any task that fits now and cannot
+// delay the head's reservation. Candidates are visited in queue priority
+// order, or in the order induced by opt.BackfillOrder when set (EASY-SJBF
+// style variants). After each start the reservation is recomputed against
+// the enlarged running set, which keeps the no-delay guarantee exact with
+// respect to perceived runtimes.
+func (e *engine) easyBackfill() {
+	for e.free > 0 && len(e.queue) > 1 {
+		shadow, extra := e.headReservation()
+		order := e.backfillOrder()
+		started := false
+		for _, i := range order {
+			ti := e.queue[i]
+			t := &e.tasks[ti]
+			if t.job.Cores > e.free {
+				continue
+			}
+			finishesBeforeShadow := e.now+t.perceived <= shadow+timeEps
+			fitsExtra := t.job.Cores <= extra
+			if finishesBeforeShadow || fitsExtra {
+				e.startTask(ti, true)
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				started = true
+				break
+			}
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+// backfillOrder returns the queue indices (excluding the head) in the
+// order backfill candidates should be considered.
+func (e *engine) backfillOrder() []int {
+	n := len(e.queue) - 1
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i + 1
+	}
+	p := e.opt.BackfillOrder
+	if p == nil {
+		return order // queue priority order: classic EASY
+	}
+	keys := make([]float64, len(e.queue))
+	for _, i := range order {
+		keys[i] = p.Score(e.view(e.queue[i]))
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if keys[ia] != keys[ib] {
+			return keys[ia] < keys[ib]
+		}
+		ta, tb := &e.tasks[e.queue[ia]], &e.tasks[e.queue[ib]]
+		if ta.job.Submit != tb.job.Submit {
+			return ta.job.Submit < tb.job.Submit
+		}
+		return ta.job.ID < tb.job.ID
+	})
+	return order
+}
+
+// profile tracks future core availability as a step function over time
+// intervals [times[i], times[i+1]), with the final interval extending to
+// infinity. Conservative backfilling reserves every queued task in it.
+type profile struct {
+	times []float64
+	avail []int
+}
+
+// buildProfile seeds the availability profile from the running set.
+func (e *engine) buildProfile() *profile {
+	p := &profile{times: []float64{e.now}, avail: []int{e.free}}
+	type rel struct {
+		at    float64
+		cores int
+	}
+	rels := make([]rel, 0, len(e.running))
+	for _, ri := range e.running {
+		rels = append(rels, rel{at: e.perceivedFinish(ri), cores: e.tasks[ri].job.Cores})
+	}
+	sort.Slice(rels, func(i, j int) bool { return rels[i].at < rels[j].at })
+	for _, r := range rels {
+		last := len(p.times) - 1
+		if r.at <= p.times[last]+timeEps {
+			// Coalesce releases at (numerically) the same instant.
+			p.avail[last] += r.cores
+			continue
+		}
+		p.times = append(p.times, r.at)
+		p.avail = append(p.avail, p.avail[last]+r.cores)
+	}
+	return p
+}
+
+// ensureBreak splits the profile so that t is a breakpoint and returns its
+// index. Times before the first breakpoint are clamped to it.
+func (p *profile) ensureBreak(t float64) int {
+	if t <= p.times[0] {
+		return 0
+	}
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return i
+	}
+	// t falls inside interval i-1; split it.
+	p.times = append(p.times, 0)
+	p.avail = append(p.avail, 0)
+	copy(p.times[i+1:], p.times[i:])
+	copy(p.avail[i+1:], p.avail[i:])
+	p.times[i] = t
+	p.avail[i] = p.avail[i-1]
+	return i
+}
+
+// earliestStart returns the earliest time >= the profile origin at which
+// cores are available continuously for the given duration.
+func (p *profile) earliestStart(cores int, duration float64) float64 {
+	for i := 0; i < len(p.times); i++ {
+		if p.avail[i] < cores {
+			continue
+		}
+		t := p.times[i]
+		end := t + duration
+		ok := true
+		for j := i; j < len(p.times) && p.times[j] < end-timeEps; j++ {
+			if p.avail[j] < cores {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t
+		}
+	}
+	// The final interval always has the whole machine; validated jobs fit.
+	return p.times[len(p.times)-1]
+}
+
+// ensureBreakExtend is ensureBreak that also handles times beyond the last
+// breakpoint by appending a new final interval (inheriting the previous
+// final availability, which is the fully free machine).
+func (p *profile) ensureBreakExtend(t float64) int {
+	last := len(p.times) - 1
+	if t > p.times[last] {
+		p.times = append(p.times, t)
+		p.avail = append(p.avail, p.avail[last])
+		return len(p.times) - 1
+	}
+	return p.ensureBreak(t)
+}
+
+// reserve subtracts cores over [t, t+duration) in the profile.
+func (p *profile) reserve(t, duration float64, cores int) {
+	start := p.ensureBreakExtend(t)
+	end := p.ensureBreakExtend(t + duration)
+	for i := start; i < end; i++ {
+		p.avail[i] -= cores
+	}
+}
+
+// conservativeBackfill gives every queued task a reservation in priority
+// order; a task starts now only when its reservation is immediate, which
+// guarantees no task before it in the queue is delayed.
+func (e *engine) conservativeBackfill() {
+	p := e.buildProfile()
+	for i := 0; i < len(e.queue); {
+		ti := e.queue[i]
+		t := &e.tasks[ti]
+		st := p.earliestStart(t.job.Cores, t.perceived)
+		p.reserve(st, t.perceived, t.job.Cores)
+		if st <= e.now+timeEps && t.job.Cores <= e.free {
+			e.startTask(ti, true)
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			continue
+		}
+		i++
+	}
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// --- profile (conservative backfilling availability structure) -----------
+
+func newTestProfile(now float64, free int) *profile {
+	return &profile{times: []float64{now}, avail: []int{free}}
+}
+
+func TestProfileEnsureBreakSplits(t *testing.T) {
+	p := newTestProfile(0, 4)
+	p.times = append(p.times, 100)
+	p.avail = append(p.avail, 8)
+	i := p.ensureBreak(50)
+	if i != 1 {
+		t.Fatalf("break index = %d, want 1", i)
+	}
+	if len(p.times) != 3 || p.times[1] != 50 || p.avail[1] != 4 {
+		t.Fatalf("profile after split: times=%v avail=%v", p.times, p.avail)
+	}
+	// Existing breakpoint is reused, not duplicated.
+	if j := p.ensureBreak(50); j != 1 || len(p.times) != 3 {
+		t.Fatalf("re-break: index=%d times=%v", j, p.times)
+	}
+	// Before-origin clamps to 0.
+	if j := p.ensureBreak(-5); j != 0 {
+		t.Fatalf("pre-origin break = %d", j)
+	}
+}
+
+func TestProfileReserveAndRelease(t *testing.T) {
+	p := newTestProfile(0, 4)
+	p.reserve(10, 20, 3) // [10, 30): 1 core left
+	// A 15s 2-core job starting now would overlap the reservation.
+	if got := p.earliestStart(2, 15); got != 30 {
+		t.Errorf("earliestStart(2,15) = %v, want 30", got)
+	}
+	// A 5s 2-core job finishes before the reservation begins.
+	if got := p.earliestStart(2, 5); got != 0 {
+		t.Errorf("earliestStart(2,5) = %v, want 0", got)
+	}
+	if got := p.earliestStart(1, 5); got != 0 {
+		t.Errorf("earliestStart(1,5) = %v, want 0 (fits beside reservation)", got)
+	}
+	// After the reservation ends, full capacity returns.
+	if got := p.earliestStart(4, 100); got != 30 {
+		t.Errorf("earliestStart(4,100) = %v, want 30", got)
+	}
+}
+
+func TestProfileReserveAtOrigin(t *testing.T) {
+	p := newTestProfile(5, 4)
+	p.reserve(5, 10, 4)
+	if got := p.earliestStart(1, 1); got != 15 {
+		t.Errorf("earliestStart = %v, want 15", got)
+	}
+}
+
+func TestProfileGapTooShort(t *testing.T) {
+	// Two reservations with a 10s hole; a 20s job cannot use the hole.
+	p := newTestProfile(0, 4)
+	p.reserve(0, 10, 4)  // busy [0,10)
+	p.reserve(20, 30, 4) // busy [20,50)
+	if got := p.earliestStart(1, 20); got != 50 {
+		t.Errorf("earliestStart(1,20) = %v, want 50 (hole too short)", got)
+	}
+	if got := p.earliestStart(1, 10); got != 10 {
+		t.Errorf("earliestStart(1,10) = %v, want 10 (hole fits exactly)", got)
+	}
+}
+
+func TestBuildProfileCoalescesSimultaneousReleases(t *testing.T) {
+	e := &engine{cores: 8, free: 2, now: 100}
+	e.tasks = []task{
+		{job: workload.Job{ID: 1, Cores: 3}, perceived: 50, start: 100},
+		{job: workload.Job{ID: 2, Cores: 3}, perceived: 50, start: 100},
+	}
+	e.running = []int{0, 1}
+	p := e.buildProfile()
+	if len(p.times) != 2 {
+		t.Fatalf("times = %v, want coalesced 2 points", p.times)
+	}
+	if p.avail[0] != 2 || p.avail[1] != 8 {
+		t.Fatalf("avail = %v", p.avail)
+	}
+}
+
+// --- EASY reservation arithmetic -----------------------------------------
+
+func TestHeadReservationShadowAndExtra(t *testing.T) {
+	// 8 cores; running: A(3 cores until 100), B(2 cores until 200).
+	// free = 3. Head wants 5: shadow = 100 (3+3=6 >= 5), extra = 1.
+	e := &engine{cores: 8, free: 3, now: 50}
+	e.tasks = []task{
+		{job: workload.Job{ID: 1, Cores: 3}, perceived: 50, start: 50},  // ends 100
+		{job: workload.Job{ID: 2, Cores: 2}, perceived: 150, start: 50}, // ends 200
+		{job: workload.Job{ID: 3, Cores: 5}},                            // head
+	}
+	e.running = []int{0, 1}
+	e.queue = []int{2}
+	shadow, extra := e.headReservation()
+	if shadow != 100 || extra != 1 {
+		t.Errorf("reservation = (%v, %d), want (100, 1)", shadow, extra)
+	}
+}
+
+func TestHeadReservationOverranEstimate(t *testing.T) {
+	// A running task whose perceived finish is in the past counts as
+	// releasing "now": the head's shadow is the current time.
+	e := &engine{cores: 4, free: 0, now: 500}
+	e.tasks = []task{
+		{job: workload.Job{ID: 1, Cores: 4}, perceived: 100, start: 100}, // believed done at 200 < now
+		{job: workload.Job{ID: 2, Cores: 4}},
+	}
+	e.running = []int{0}
+	e.queue = []int{1}
+	shadow, extra := e.headReservation()
+	if shadow != 500 || extra != 0 {
+		t.Errorf("reservation = (%v, %d), want (500, 0)", shadow, extra)
+	}
+}
+
+// --- end-to-end backfilling edge cases ------------------------------------
+
+func TestEASYWithUnderestimatedRuntimes(t *testing.T) {
+	// Job A underestimates its runtime (e < r). EASY believes cores free
+	// earlier than they are; the schedule must stay feasible regardless.
+	jobs := []workload.Job{
+		{ID: 1, Submit: 0, Runtime: 200, Estimate: 50, Cores: 3},
+		{ID: 2, Submit: 10, Runtime: 100, Estimate: 100, Cores: 4},
+		{ID: 3, Submit: 20, Runtime: 30, Estimate: 30, Cores: 1},
+	}
+	res := mustRun(t, Platform{Cores: 4}, jobs,
+		Options{Policy: sched.FCFS(), Backfill: BackfillEASY, UseEstimates: true})
+	checkNoOversubscription(t, 4, res.Stats)
+	// Job 3 fits beside job 1 (1 core free) and is believed to finish by
+	// the (stale) shadow; it must backfill at its arrival.
+	if res.Stats[2].Start != 20 {
+		t.Errorf("job 3 start = %v, want 20", res.Stats[2].Start)
+	}
+	// Job 2 can only start when job 1 actually ends.
+	if res.Stats[1].Start != 200 {
+		t.Errorf("job 2 start = %v, want 200", res.Stats[1].Start)
+	}
+}
+
+func TestConservativeManyReservations(t *testing.T) {
+	// A chain of full-machine jobs all get reservations; a stream of small
+	// jobs may only run in the gaps that delay nobody.
+	jobs := []workload.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Estimate: 100, Cores: 4},
+		{ID: 2, Submit: 1, Runtime: 100, Estimate: 100, Cores: 4},
+		{ID: 3, Submit: 2, Runtime: 100, Estimate: 100, Cores: 4},
+		{ID: 4, Submit: 3, Runtime: 5, Estimate: 5, Cores: 1},
+	}
+	res := mustRun(t, Platform{Cores: 4}, jobs,
+		Options{Policy: sched.FCFS(), Backfill: BackfillConservative})
+	// No gaps exist (full-machine jobs back to back): job 4 runs last.
+	if res.Stats[3].Start != 300 {
+		t.Errorf("small job start = %v, want 300", res.Stats[3].Start)
+	}
+	for i, wantStart := range []float64{0, 100, 200} {
+		if res.Stats[i].Start != wantStart {
+			t.Errorf("job %d start = %v, want %v", i+1, res.Stats[i].Start, wantStart)
+		}
+	}
+}
+
+func TestConservativeNeverDelaysEarlierReservations(t *testing.T) {
+	// Property-style check on random workloads: under conservative
+	// backfilling with exact estimates, every job must start no later
+	// than it would under plain FCFS (conservative backfilling dominates
+	// no-backfilling for each job when estimates are exact and priorities
+	// are FCFS).
+	for seed := uint64(0); seed < 4; seed++ {
+		jobs := randomJobs(dist.New(seed), 120, 16)
+		plain := mustRun(t, Platform{Cores: 16}, jobs, Options{Policy: sched.FCFS()})
+		cons := mustRun(t, Platform{Cores: 16}, jobs,
+			Options{Policy: sched.FCFS(), Backfill: BackfillConservative})
+		for i := range jobs {
+			if cons.Stats[i].Start > plain.Stats[i].Start+timeEps {
+				t.Fatalf("seed %d: job %d delayed by conservative backfilling: %v > %v",
+					seed, i, cons.Stats[i].Start, plain.Stats[i].Start)
+			}
+		}
+	}
+}
+
+func TestEASYSJBFOrder(t *testing.T) {
+	// Two safe backfill candidates are waiting when cores first free up at
+	// t=50; only one fits. Classic EASY takes them in queue (FCFS) order
+	// and picks C; SJBF (BackfillOrder = SPT) picks the shorter D.
+	jobs := []workload.Job{
+		job(1, 0, 50, 2),  // A1: machine half busy until 50
+		job(2, 0, 120, 2), // A2: other half until 120
+		job(3, 5, 100, 4), // B: blocked head, shadow = 120, extra = 0
+		job(4, 10, 70, 2), // C: safe (50+70 = 120 <= shadow), queued first
+		job(5, 11, 30, 2), // D: safe (50+30 = 80), shorter
+	}
+	classic := mustRun(t, Platform{Cores: 4}, jobs,
+		Options{Policy: sched.FCFS(), Backfill: BackfillEASY})
+	if classic.Stats[3].Start != 50 || !classic.Stats[3].Backfilled {
+		t.Errorf("classic EASY: C start = %v, want 50 (queue order)", classic.Stats[3].Start)
+	}
+	if classic.Stats[4].Start <= 50 {
+		t.Errorf("classic EASY: D start = %v, want after C", classic.Stats[4].Start)
+	}
+	sjbf := mustRun(t, Platform{Cores: 4}, jobs,
+		Options{Policy: sched.FCFS(), Backfill: BackfillEASY, BackfillOrder: sched.SPT()})
+	if sjbf.Stats[4].Start != 50 || !sjbf.Stats[4].Backfilled {
+		t.Errorf("SJBF: D start = %v, want 50 (shortest safe candidate)", sjbf.Stats[4].Start)
+	}
+	if sjbf.Stats[3].Start <= 50 {
+		t.Errorf("SJBF: C start = %v, want after D", sjbf.Stats[3].Start)
+	}
+	// The head must not be delayed under either variant.
+	if classic.Stats[2].Start != 120 || sjbf.Stats[2].Start != 120 {
+		t.Errorf("head delayed: classic %v, sjbf %v", classic.Stats[2].Start, sjbf.Stats[2].Start)
+	}
+	checkNoOversubscription(t, 4, classic.Stats)
+	checkNoOversubscription(t, 4, sjbf.Stats)
+}
+
+func TestSJBFInvariantsOnRandomWorkloads(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		jobs := randomJobs(dist.New(400+seed), 150, 16)
+		res := mustRun(t, Platform{Cores: 16}, jobs, Options{
+			Policy: sched.FCFS(), Backfill: BackfillEASY,
+			BackfillOrder: sched.SPT(), UseEstimates: true,
+		})
+		checkNoOversubscription(t, 16, res.Stats)
+		for i, s := range res.Stats {
+			if s.Start < s.Job.Submit {
+				t.Fatalf("seed %d: job %d started before submit", seed, i)
+			}
+		}
+	}
+}
+
+func TestBackfillModeString(t *testing.T) {
+	if BackfillNone.String() != "none" || BackfillEASY.String() != "easy" ||
+		BackfillConservative.String() != "conservative" {
+		t.Error("mode names wrong")
+	}
+	if BackfillMode(9).String() == "" {
+		t.Error("unknown mode must still render")
+	}
+}
+
+func TestEASYZeroFreeNoPass(t *testing.T) {
+	// When the machine is completely full, arrivals must not trigger
+	// backfilling work (fast path); behavior must still be correct.
+	jobs := []workload.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Estimate: 100, Cores: 4},
+		{ID: 2, Submit: 1, Runtime: 10, Estimate: 10, Cores: 1},
+	}
+	res := mustRun(t, Platform{Cores: 4}, jobs, Options{Policy: sched.FCFS(), Backfill: BackfillEASY})
+	if res.Stats[1].Start != 100 {
+		t.Errorf("job 2 start = %v, want 100", res.Stats[1].Start)
+	}
+}
+
+func TestPerceivedFinishClamp(t *testing.T) {
+	e := &engine{now: 1000}
+	e.tasks = []task{{job: workload.Job{ID: 1}, perceived: 10, start: 0}}
+	if got := e.perceivedFinish(0); got != 1000 {
+		t.Errorf("perceivedFinish = %v, want clamped to now", got)
+	}
+	e.now = 5
+	if got := e.perceivedFinish(0); got != 10 {
+		t.Errorf("perceivedFinish = %v, want 10", got)
+	}
+}
+
+func TestBsldNaNSafety(t *testing.T) {
+	if v := Bsld(math.Inf(1), 10, 10); !math.IsInf(v, 1) {
+		t.Errorf("Bsld(inf) = %v", v)
+	}
+}

@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/stats"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// task is the engine's mutable view of one job.
+type task struct {
+	job       workload.Job
+	perceived float64 // runtime the scheduler sees (r or e)
+	execution float64 // runtime execution actually takes
+	score     float64 // cached policy score (static policies)
+	start     float64
+	finish    float64
+	started   bool
+	done      bool
+	backfill  bool
+}
+
+// event kinds, ordered so completions at a timestamp are applied before
+// arrivals: released cores must be visible to the scheduling pass that
+// also sees the new arrivals.
+const (
+	evCompletion = iota
+	evArrival
+)
+
+type event struct {
+	time float64
+	kind int
+	task int // task index
+	seq  int // tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any         { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h eventHeap) peekTime() float64 { return h[0].time }
+
+type engine struct {
+	cores int
+	free  int
+	opt   Options
+	tau   float64
+
+	policy      sched.Policy
+	withID      sched.PolicyWithID // non-nil if policy scores by job ID
+	timeVarying bool
+
+	tasks   []task
+	queue   []int // waiting task indices; kept score-sorted for static policies
+	running []int // running task indices
+	events  eventHeap
+	seq     int
+	now     float64
+
+	maxQueueLen int
+	backfilled  int
+	timeline    []TimelinePoint
+}
+
+func newEngine(p Platform, jobs []workload.Job, opt Options) *engine {
+	tau := opt.Tau
+	if tau <= 0 {
+		tau = DefaultTau
+	}
+	e := &engine{
+		cores:       p.Cores,
+		free:        p.Cores,
+		opt:         opt,
+		tau:         tau,
+		policy:      opt.Policy,
+		timeVarying: opt.Policy.TimeVarying(),
+	}
+	if w, ok := opt.Policy.(sched.PolicyWithID); ok {
+		e.withID = w
+	}
+	e.tasks = make([]task, len(jobs))
+	for i, j := range jobs {
+		perceived := j.Runtime
+		if opt.UseEstimates && j.Estimate > 0 {
+			perceived = j.Estimate
+		}
+		execution := j.Runtime
+		if opt.KillAtEstimate && j.Estimate > 0 && j.Estimate < execution {
+			execution = j.Estimate
+		}
+		e.tasks[i] = task{job: j, perceived: perceived, execution: execution}
+		e.push(event{time: j.Submit, kind: evArrival, task: i})
+	}
+	heap.Init(&e.events)
+	return e
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.events = append(e.events, ev)
+}
+
+func (e *engine) pushHeap(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// view builds the policy's JobView of a task at the current time.
+func (e *engine) view(ti int) sched.JobView {
+	t := &e.tasks[ti]
+	wait := e.now - t.job.Submit
+	if wait < 0 {
+		wait = 0
+	}
+	return sched.JobView{
+		Runtime: t.perceived,
+		Cores:   float64(t.job.Cores),
+		Submit:  t.job.Submit,
+		Wait:    wait,
+	}
+}
+
+// staticScore computes and caches the score of a task under a
+// non-time-varying policy (Wait plays no role, so it is evaluated as 0).
+func (e *engine) staticScore(ti int) float64 {
+	v := e.view(ti)
+	v.Wait = 0
+	if e.withID != nil {
+		return e.withID.ScoreID(e.tasks[ti].job.ID, v)
+	}
+	return e.policy.Score(v)
+}
+
+// enqueue inserts an arrived task into the waiting queue. For static
+// policies the queue stays sorted by (score, submit, id) via binary
+// insertion; time-varying policies re-sort at each scheduling pass.
+func (e *engine) enqueue(ti int) {
+	if e.timeVarying {
+		e.queue = append(e.queue, ti)
+		return
+	}
+	e.tasks[ti].score = e.staticScore(ti)
+	lo, hi := 0, len(e.queue)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.queueLess(e.queue[mid], ti) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.queue = append(e.queue, 0)
+	copy(e.queue[lo+1:], e.queue[lo:])
+	e.queue[lo] = ti
+}
+
+// queueLess orders tasks by (score, submit, id) — the deterministic order
+// every experiment uses.
+func (e *engine) queueLess(a, b int) bool {
+	ta, tb := &e.tasks[a], &e.tasks[b]
+	if ta.score != tb.score {
+		return ta.score < tb.score
+	}
+	if ta.job.Submit != tb.job.Submit {
+		return ta.job.Submit < tb.job.Submit
+	}
+	return ta.job.ID < tb.job.ID
+}
+
+// resortQueue refreshes scores at the current time and re-sorts; only
+// needed for time-varying policies.
+func (e *engine) resortQueue() {
+	for _, ti := range e.queue {
+		if e.withID != nil {
+			e.tasks[ti].score = e.withID.ScoreID(e.tasks[ti].job.ID, e.view(ti))
+		} else {
+			e.tasks[ti].score = e.policy.Score(e.view(ti))
+		}
+	}
+	sort.SliceStable(e.queue, func(i, j int) bool { return e.queueLess(e.queue[i], e.queue[j]) })
+}
+
+// startTask launches a waiting task now.
+func (e *engine) startTask(ti int, backfillStart bool) {
+	t := &e.tasks[ti]
+	t.started = true
+	t.backfill = backfillStart
+	t.start = e.now
+	t.finish = e.now + t.execution
+	e.free -= t.job.Cores
+	e.running = append(e.running, ti)
+	e.pushHeap(event{time: t.finish, kind: evCompletion, task: ti})
+	if backfillStart {
+		e.backfilled++
+	}
+}
+
+// completeTask retires a finished task.
+func (e *engine) completeTask(ti int) {
+	t := &e.tasks[ti]
+	t.done = true
+	e.free += t.job.Cores
+	for i, ri := range e.running {
+		if ri == ti {
+			e.running[i] = e.running[len(e.running)-1]
+			e.running = e.running[:len(e.running)-1]
+			break
+		}
+	}
+}
+
+// run executes the event loop: drain all events at a timestamp, then hold
+// one scheduling pass (the paper's rescheduling events are exactly task
+// arrivals and resource releases).
+func (e *engine) run() {
+	for e.events.Len() > 0 {
+		now := e.events.peekTime()
+		e.now = now
+		for e.events.Len() > 0 && e.events.peekTime() == now {
+			ev := heap.Pop(&e.events).(event)
+			switch ev.kind {
+			case evArrival:
+				e.enqueue(ev.task)
+			case evCompletion:
+				e.completeTask(ev.task)
+			}
+		}
+		if len(e.queue) > e.maxQueueLen {
+			e.maxQueueLen = len(e.queue)
+		}
+		e.schedulePass()
+		if e.opt.RecordTimeline {
+			e.timeline = append(e.timeline, TimelinePoint{
+				Time:     now,
+				QueueLen: len(e.queue),
+				CoresUse: e.cores - e.free,
+			})
+		}
+	}
+}
+
+// schedulePass starts every task the policy and backfilling rules allow.
+func (e *engine) schedulePass() {
+	if len(e.queue) == 0 || e.free == 0 {
+		return
+	}
+	if e.timeVarying {
+		e.resortQueue()
+	}
+	// Start from the head while it fits.
+	for len(e.queue) > 0 && e.tasks[e.queue[0]].job.Cores <= e.free {
+		e.startTask(e.queue[0], false)
+		e.queue = e.queue[1:]
+	}
+	if len(e.queue) == 0 || e.free == 0 {
+		return
+	}
+	switch e.opt.Backfill {
+	case BackfillEASY:
+		e.easyBackfill()
+	case BackfillConservative:
+		e.conservativeBackfill()
+	}
+}
+
+// result assembles metrics after the event loop drains.
+func (e *engine) result() *Result {
+	res := &Result{
+		Stats:       make([]JobStats, len(e.tasks)),
+		MaxQueueLen: e.maxQueueLen,
+		Backfilled:  e.backfilled,
+		Timeline:    e.timeline,
+	}
+	if len(e.tasks) == 0 {
+		return res
+	}
+	firstSubmit := math.Inf(1)
+	lastFinish := math.Inf(-1)
+	var sumB, sumW, busy float64
+	for i := range e.tasks {
+		t := &e.tasks[i]
+		wait := t.start - t.job.Submit
+		b := Bsld(wait, t.job.Runtime, e.tau)
+		res.Stats[i] = JobStats{
+			Job:        t.job,
+			Start:      t.start,
+			Finish:     t.finish,
+			Wait:       wait,
+			BSLD:       b,
+			Backfilled: t.backfill,
+		}
+		sumB += b
+		sumW += wait
+		busy += t.execution * float64(t.job.Cores)
+		if t.job.Submit < firstSubmit {
+			firstSubmit = t.job.Submit
+		}
+		if t.finish > lastFinish {
+			lastFinish = t.finish
+		}
+		if b > res.MaxBSLD {
+			res.MaxBSLD = b
+		}
+		if wait > res.MaxWait {
+			res.MaxWait = wait
+		}
+	}
+	n := float64(len(e.tasks))
+	res.AVEbsld = sumB / n
+	res.MeanWait = sumW / n
+	res.Makespan = lastFinish - firstSubmit
+	if res.Makespan > 0 {
+		res.Utilization = busy / (float64(e.cores) * res.Makespan)
+	}
+	bslds := make([]float64, len(res.Stats))
+	waits := make([]float64, len(res.Stats))
+	for i, s := range res.Stats {
+		bslds[i], waits[i] = s.BSLD, s.Wait
+	}
+	res.MedianBSLD = stats.Median(bslds)
+	res.P95BSLD = stats.Quantile(bslds, 0.95)
+	res.P95Wait = stats.Quantile(waits, 0.95)
+	return res
+}

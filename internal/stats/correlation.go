@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns the 1-based ranks of xs with ties assigned their average
+// rank (the "fractional" convention Spearman correlation expects).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired
+// samples, or NaN when undefined (fewer than two points or zero variance).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of the paired samples:
+// the Pearson correlation of their rank vectors. For a scheduling policy
+// this is the right fidelity metric — only the induced order of the queue
+// matters, not the absolute score values.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRanksSimple(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+	// All equal: everyone gets the average rank.
+	got = Ranks([]float64{5, 5, 5})
+	for _, r := range got {
+		if r != 2 {
+			t.Fatalf("tied ranks = %v, want all 2", got)
+		}
+	}
+}
+
+func TestPearsonKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect linear = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect inverse = %v, want -1", got)
+	}
+	if got := Pearson(x, []float64{3, 3, 3, 3, 3}); !math.IsNaN(got) {
+		t.Errorf("zero variance = %v, want NaN", got)
+	}
+	if got := Pearson(x, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("length mismatch = %v, want NaN", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone (even wildly nonlinear) relation gives rho=1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v) // nonlinear but monotone
+	}
+	if got := Spearman(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone rho = %v, want 1", got)
+	}
+	// Reverse gives -1.
+	for i, v := range x {
+		y[i] = -v * v * v
+	}
+	if got := Spearman(x, y); math.Abs(got+1) > 1e-12 {
+		t.Errorf("antitone rho = %v, want -1", got)
+	}
+}
+
+func TestSpearmanBounds(t *testing.T) {
+	if err := quick.Check(func(pairs []float64) bool {
+		if len(pairs) < 6 {
+			return true
+		}
+		half := len(pairs) / 2
+		x := make([]float64, 0, half)
+		y := make([]float64, 0, half)
+		for i := 0; i < half; i++ {
+			a, b := pairs[2*i], pairs[2*i+1]
+			if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+				return true
+			}
+			x = append(x, a)
+			y = append(y, b)
+		}
+		rho := Spearman(x, y)
+		return math.IsNaN(rho) || (rho >= -1-1e-9 && rho <= 1+1e-9)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package stats provides the descriptive statistics the paper's evaluation
+// reports: means, medians, quantiles, standard deviations, Tukey boxplot
+// summaries (the medians in Table 4 and the boxes and whiskers in Figures
+// 4–9), histograms, and small ASCII renderers for terminal output.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty input.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n), or NaN
+// for empty input. The two-pass formulation keeps it numerically stable.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// SampleStdDev returns the sample standard deviation (dividing by n-1).
+// It is what the convergence study in Figure 2 measures across repetitions.
+func SampleStdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	return StdDev(xs) * math.Sqrt(float64(n)/float64(n-1))
+}
+
+// Min returns the smallest element of xs, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (the "type 7" estimator used by
+// numpy and R, and hence by the paper's matplotlib boxplots). xs need not
+// be sorted. It returns NaN for empty input or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile on data that is already sorted ascending.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary bundles the descriptive statistics the artifact's
+// sched-performance-tester prints for each experiment.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Median(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+	}
+}

@@ -1,0 +1,117 @@
+package traces
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpecsValid(t *testing.T) {
+	for _, spec := range All() {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+	if len(All()) != 4 {
+		t.Errorf("expected the four Table 5 platforms")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []PlatformSpec{
+		{Name: "x", Cores: 0, TargetUtil: 0.5, AllocUnit: 1},
+		{Name: "x", Cores: 10, TargetUtil: 0, AllocUnit: 1},
+		{Name: "x", Cores: 10, TargetUtil: 1.5, AllocUnit: 1},
+		{Name: "x", Cores: 10, TargetUtil: 0.5, AllocUnit: 0},
+		{Name: "x", Cores: 10, TargetUtil: 0.5, AllocUnit: 11},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateCTCSP2(t *testing.T) {
+	tr, err := Generate(CTCSP2, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	if math.Abs(st.Utilization-CTCSP2.TargetUtil) > 0.02 {
+		t.Errorf("utilization = %.3f, want %.3f", st.Utilization, CTCSP2.TargetUtil)
+	}
+	if st.DurationSec < 9*24*3600 {
+		t.Errorf("trace spans %.1f days, want >= 9", st.DurationSec/86400)
+	}
+	for _, j := range tr.Jobs {
+		if j.Cores > CTCSP2.Cores {
+			t.Fatalf("job uses %d cores on a %d-core machine", j.Cores, CTCSP2.Cores)
+		}
+		if j.Estimate < j.Runtime {
+			t.Fatal("estimate below runtime")
+		}
+	}
+}
+
+func TestGenerateIntrepidGranularity(t *testing.T) {
+	tr, err := Generate(Intrepid, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if j.Cores%Intrepid.AllocUnit != 0 {
+			t.Fatalf("allocation %d not a multiple of %d", j.Cores, Intrepid.AllocUnit)
+		}
+	}
+	st := tr.ComputeStats()
+	if math.Abs(st.Utilization-Intrepid.TargetUtil) > 0.02 {
+		t.Errorf("utilization = %.3f, want %.3f", st.Utilization, Intrepid.TargetUtil)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(SDSCBlue, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SDSCBlue, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(PlatformSpec{Name: "bad"}, 1, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := Generate(CTCSP2, 0, 1); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestPlatformsDifferInScale(t *testing.T) {
+	// The point of the trace study: platforms must look very different.
+	curie, err := Generate(Curie, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctc, err := Generate(CTCSP2, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ts := curie.ComputeStats(), ctc.ComputeStats()
+	if cs.MeanCores <= ts.MeanCores*2 {
+		t.Errorf("Curie mean cores %.1f not far above CTC %.1f", cs.MeanCores, ts.MeanCores)
+	}
+}

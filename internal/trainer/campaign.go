@@ -1,0 +1,138 @@
+package trainer
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// Campaign reproduces the artifact's training-data-generator process
+// layout: a long-running generation campaign that writes one file per
+// tuple under two directories —
+//
+//	<dir>/task-sets/tuple-NNNN.csv      the (S,Q) tasks (runtime,#processors,submit)
+//	<dir>/training-data/tuple-NNNN.csv  the scored Q tasks (runtime,#processors,submit,score)
+//
+// so a campaign can be stopped, resumed and extended at any time, and
+// Gather (the gather_data.py equivalent) joins everything into the final
+// score distribution.
+type Campaign struct {
+	Dir    string
+	Spec   TupleSpec
+	Trials TrialConfig
+	Seed   uint64
+}
+
+const (
+	taskSetsDir     = "task-sets"
+	trainingDataDir = "training-data"
+)
+
+// Run scores tuples [from, from+count) and writes their files. Tuple i is
+// fully determined by (Seed, i), so re-running an index reproduces its
+// file bit for bit, and disjoint index ranges can run on different
+// machines.
+func (c Campaign) Run(from, count int) error {
+	if count <= 0 {
+		return fmt.Errorf("trainer: campaign count must be positive, got %d", count)
+	}
+	if err := os.MkdirAll(filepath.Join(c.Dir, taskSetsDir), 0o755); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Join(c.Dir, trainingDataDir), 0o755); err != nil {
+		return err
+	}
+	for i := from; i < from+count; i++ {
+		sub := dist.Split(c.Seed, uint64(i))
+		tuple, err := GenerateTuple(c.Spec, sub)
+		if err != nil {
+			return err
+		}
+		cfg := c.Trials
+		cfg.Seed = dist.Split(sub, 1)
+		scores, err := ScoreTuple(tuple, cfg)
+		if err != nil {
+			return err
+		}
+		if err := writeTaskSet(c.tupleFile(taskSetsDir, i), tuple); err != nil {
+			return err
+		}
+		if err := writeScoredSet(c.tupleFile(trainingDataDir, i), scores); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c Campaign) tupleFile(sub string, i int) string {
+	return filepath.Join(c.Dir, sub, fmt.Sprintf("tuple-%04d.csv", i))
+}
+
+// writeTaskSet stores every task of the tuple (S then Q) in the
+// artifact's task-set format: runtime,#processors,submit.
+func writeTaskSet(path string, t Tuple) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, j := range append(append([]workload.Job(nil), t.S...), t.Q...) {
+		fmt.Fprintf(w, "%g,%d,%g\n", j.Runtime, j.Cores, j.Submit)
+	}
+	return w.Flush()
+}
+
+// writeScoredSet stores the trial score distribution of the tuple in the
+// artifact's training-data format: runtime,#processors,submit,score.
+func writeScoredSet(path string, ts *TupleScores) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteScoreCSV(f, ts.Samples)
+}
+
+// Gather joins every training-data file of a campaign directory into one
+// sample set — the artifact's gather_data.py producing
+// score-distribution.csv. Files are read in name order so the result is
+// deterministic.
+func Gather(dir string) ([]mlfit.Sample, error) {
+	root := filepath.Join(dir, trainingDataDir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: gather: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("trainer: gather: no training-data files in %s", root)
+	}
+	var out []mlfit.Sample
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(root, name))
+		if err != nil {
+			return nil, err
+		}
+		samples, err := ReadScoreCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trainer: gather %s: %w", name, err)
+		}
+		out = append(out, samples...)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+// Package trainer implements the paper's simulation scheme (§3.2): it
+// builds tuples of task sets (S, Q) from the Lublin–Feitelson model,
+// simulates many random permutations of Q being served after S ("trials"),
+// scores every task of Q by Eq. 3 — the normalized sum of average bounded
+// slowdowns over the trials where that task ran first — and aggregates the
+// (r, n, s, score) samples that the regression of §3.3 consumes.
+//
+// Trials are balanced: each task of Q is placed first in exactly
+// trials/|Q| permutations, making Σ_t score(t) = 1 an exact invariant.
+// All stochastic choices derive from explicit seeds, so distributions are
+// reproducible for any worker count.
+package trainer
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// TupleSpec describes how to draw one (S, Q) tuple. The paper uses
+// |S| = 16, |Q| = 32 on a 256-core machine.
+type TupleSpec struct {
+	SSize, QSize int
+	Cores        int
+	Params       lublin.Params // workload model for the job stream
+}
+
+// DefaultSpec returns the paper's training configuration.
+func DefaultSpec() TupleSpec {
+	return TupleSpec{SSize: 16, QSize: 32, Cores: 256, Params: lublin.DefaultParams(256)}
+}
+
+// Tuple is one (S, Q) pair: S establishes a realistic initial resource
+// state; Q is the measured task set.
+type Tuple struct {
+	S, Q  []workload.Job
+	Cores int
+}
+
+// GenerateTuple draws the tuple from a fresh Lublin stream: the first
+// |S| jobs become S (released at t = 0, served in arrival order), the next
+// |Q| jobs keep their model arrival times and become Q.
+func GenerateTuple(spec TupleSpec, seed uint64) (Tuple, error) {
+	if spec.SSize < 0 || spec.QSize <= 0 {
+		return Tuple{}, fmt.Errorf("trainer: need positive |Q| and non-negative |S| (got %d, %d)", spec.SSize, spec.QSize)
+	}
+	gen, err := lublin.NewGenerator(spec.Params, spec.Cores, seed)
+	if err != nil {
+		return Tuple{}, err
+	}
+	jobs := gen.Jobs(spec.SSize + spec.QSize)
+	t := Tuple{Cores: spec.Cores}
+	for i, j := range jobs {
+		if i < spec.SSize {
+			j.Submit = 0
+			t.S = append(t.S, j)
+		} else {
+			t.Q = append(t.Q, j)
+		}
+	}
+	return t, nil
+}
+
+// TrialConfig controls the permutation trials of one tuple.
+type TrialConfig struct {
+	// Trials is the total number of permutations to simulate; it is
+	// rounded up to a multiple of |Q| so every task leads the same number
+	// of permutations. The paper settles on 256k (Fig. 2).
+	Trials int
+	// Tau is the bounded-slowdown constant (0 = paper's 10s).
+	Tau float64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives permutation generation.
+	Seed uint64
+}
+
+// Errors from the trial engine.
+var (
+	ErrNoTrials = errors.New("trainer: trial count must be positive")
+	ErrEmptyQ   = errors.New("trainer: tuple has no Q tasks")
+)
+
+// TupleScores is the trial score distribution of one tuple: Scores[i] is
+// Eq. 3 for task Q[i]; Samples are the same values keyed by the task's
+// (r, n, s) for the regression set Tr.
+type TupleScores struct {
+	Tuple   Tuple
+	Scores  []float64
+	Samples []mlfit.Sample
+}
+
+// ScoreTuple runs balanced permutation trials of the tuple and returns the
+// per-task trial score distribution.
+func ScoreTuple(t Tuple, cfg TrialConfig) (*TupleScores, error) {
+	if cfg.Trials <= 0 {
+		return nil, ErrNoTrials
+	}
+	q := len(t.Q)
+	if q == 0 {
+		return nil, ErrEmptyQ
+	}
+	perTask := (cfg.Trials + q - 1) / q
+	total := perTask * q
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	// aveBsld[k] is AVEbsld of trial k; trial k puts task Q[k%q] first.
+	// Accumulating per-trial then reducing sequentially keeps the result
+	// bit-identical for every worker count.
+	aveBsld := make([]float64, total)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	errOnce := sync.Once{}
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := newTrialRunner(t, cfg.Tau)
+			for k := range work {
+				v, err := tr.run(k, q, cfg.Seed)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				aveBsld[k] = v
+			}
+		}()
+	}
+	for k := 0; k < total; k++ {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sums := make([]float64, q)
+	var grand float64
+	for k, v := range aveBsld {
+		sums[k%q] += v
+		grand += v
+	}
+	out := &TupleScores{Tuple: t, Scores: make([]float64, q), Samples: make([]mlfit.Sample, q)}
+	for i := range sums {
+		score := 0.0
+		if grand > 0 {
+			score = sums[i] / grand
+		}
+		out.Scores[i] = score
+		out.Samples[i] = mlfit.Sample{
+			R:     t.Q[i].Runtime,
+			N:     float64(t.Q[i].Cores),
+			S:     t.Q[i].Submit,
+			Score: score,
+		}
+	}
+	return out, nil
+}
+
+// trialRunner holds the per-worker scratch state for simulating trials.
+type trialRunner struct {
+	tuple Tuple
+	tau   float64
+	jobs  []workload.Job // S followed by Q, stable job IDs
+	qIDs  map[int]bool
+	perm  []int
+}
+
+func newTrialRunner(t Tuple, tau float64) *trialRunner {
+	tr := &trialRunner{tuple: t, tau: tau, qIDs: make(map[int]bool, len(t.Q))}
+	tr.jobs = append(tr.jobs, t.S...)
+	tr.jobs = append(tr.jobs, t.Q...)
+	for _, j := range t.Q {
+		tr.qIDs[j.ID] = true
+	}
+	tr.perm = make([]int, len(t.Q))
+	return tr
+}
+
+// run simulates trial k: task Q[k%q] first, the rest shuffled from the
+// trial's own sub-seed, S served ahead of all Q in arrival order.
+func (tr *trialRunner) run(k, q int, seed uint64) (float64, error) {
+	rng := newTrialRNG(seed, uint64(k))
+	first := k % q
+	// perm = [first] ++ shuffle(others).
+	tr.perm[0] = first
+	idx := 1
+	for i := 0; i < q; i++ {
+		if i != first {
+			tr.perm[idx] = i
+			idx++
+		}
+	}
+	rest := tr.perm[1:]
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+
+	rank := make(map[int]int, len(tr.jobs))
+	for i, j := range tr.tuple.S {
+		rank[j.ID] = i // S keeps arrival order ahead of every Q task
+	}
+	base := len(tr.tuple.S)
+	for pos, qi := range tr.perm {
+		rank[tr.tuple.Q[qi].ID] = base + pos
+	}
+	res, err := sim.Run(sim.Platform{Cores: tr.tuple.Cores}, tr.jobs, sim.Options{
+		Policy: sched.FixedOrder(rank),
+		Tau:    tr.tau,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sim.AveBsld(res.Stats, func(s sim.JobStats) bool { return tr.qIDs[s.Job.ID] }), nil
+}

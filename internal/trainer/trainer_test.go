@@ -1,0 +1,280 @@
+package trainer
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/mlfit"
+)
+
+func smallSpec() TupleSpec {
+	s := DefaultSpec()
+	s.SSize, s.QSize, s.Cores = 8, 16, 64
+	p := s.Params
+	s.Params = p
+	return s
+}
+
+func TestGenerateTuple(t *testing.T) {
+	spec := DefaultSpec()
+	tuple, err := GenerateTuple(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuple.S) != 16 || len(tuple.Q) != 32 {
+		t.Fatalf("|S| = %d, |Q| = %d; want 16, 32", len(tuple.S), len(tuple.Q))
+	}
+	for _, j := range tuple.S {
+		if j.Submit != 0 {
+			t.Error("S tasks must be released at t=0")
+		}
+	}
+	prev := 0.0
+	for _, j := range tuple.Q {
+		if j.Submit <= 0 {
+			t.Error("Q tasks must arrive after the start")
+		}
+		if j.Submit < prev {
+			t.Error("Q arrivals must be ordered")
+		}
+		prev = j.Submit
+		if j.Cores < 1 || j.Cores > 256 {
+			t.Errorf("Q task cores = %d", j.Cores)
+		}
+	}
+	// IDs unique across S and Q.
+	seen := map[int]bool{}
+	for _, j := range tuple.S {
+		seen[j.ID] = true
+	}
+	for _, j := range tuple.Q {
+		if seen[j.ID] {
+			t.Fatalf("duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+}
+
+func TestGenerateTupleErrors(t *testing.T) {
+	spec := DefaultSpec()
+	spec.QSize = 0
+	if _, err := GenerateTuple(spec, 1); err == nil {
+		t.Error("zero |Q| accepted")
+	}
+}
+
+func TestScoreTupleInvariants(t *testing.T) {
+	tuple, err := GenerateTuple(smallSpec(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ScoreTuple(tuple, TrialConfig{Trials: 320, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Scores) != len(tuple.Q) {
+		t.Fatalf("got %d scores, want %d", len(ts.Scores), len(tuple.Q))
+	}
+	var sum float64
+	for i, s := range ts.Scores {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("score[%d] = %v", i, s)
+		}
+		sum += s
+	}
+	// Balanced trials make the scores a partition of the total AVEbsld.
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Σ scores = %v, want 1", sum)
+	}
+	// Samples mirror the Q tasks.
+	for i, s := range ts.Samples {
+		j := tuple.Q[i]
+		if s.R != j.Runtime || s.N != float64(j.Cores) || s.S != j.Submit || s.Score != ts.Scores[i] {
+			t.Fatalf("sample %d does not match its task", i)
+		}
+	}
+}
+
+func TestScoreTupleDeterministicAcrossWorkers(t *testing.T) {
+	tuple, err := GenerateTuple(smallSpec(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ScoreTuple(tuple, TrialConfig{Trials: 160, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScoreTuple(tuple, TrialConfig{Trials: 160, Seed: 5, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatalf("score %d differs across worker counts: %v vs %v", i, a.Scores[i], b.Scores[i])
+		}
+	}
+}
+
+func TestScoreTupleErrors(t *testing.T) {
+	tuple, _ := GenerateTuple(smallSpec(), 3)
+	if _, err := ScoreTuple(tuple, TrialConfig{Trials: 0}); err != ErrNoTrials {
+		t.Errorf("err = %v, want ErrNoTrials", err)
+	}
+	if _, err := ScoreTuple(Tuple{Cores: 8}, TrialConfig{Trials: 10}); err != ErrEmptyQ {
+		t.Errorf("err = %v, want ErrEmptyQ", err)
+	}
+}
+
+func TestScoresReflectTaskSize(t *testing.T) {
+	// Large long tasks must on average receive higher (worse) scores than
+	// small short tasks: putting a big task first blocks the machine.
+	spec := smallSpec()
+	var small, large []float64
+	for seed := uint64(0); seed < 6; seed++ {
+		tuple, err := GenerateTuple(spec, 100+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := ScoreTuple(tuple, TrialConfig{Trials: 480, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range ts.Scores {
+			area := tuple.Q[i].Runtime * float64(tuple.Q[i].Cores)
+			if area < 2000 {
+				small = append(small, s)
+			} else if area > 100000 {
+				large = append(large, s)
+			}
+		}
+	}
+	if len(small) < 5 || len(large) < 5 {
+		t.Skipf("degenerate split: %d small, %d large", len(small), len(large))
+	}
+	meanSmall := mean(small)
+	meanLarge := mean(large)
+	if meanSmall >= meanLarge {
+		t.Errorf("small-task mean score %v not below large-task %v", meanSmall, meanLarge)
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestScoreDistribution(t *testing.T) {
+	spec := smallSpec()
+	samples, err := ScoreDistribution(3, spec, TrialConfig{Trials: 160}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3*spec.QSize {
+		t.Fatalf("got %d samples, want %d", len(samples), 3*spec.QSize)
+	}
+	// Per-tuple groups each sum to 1.
+	for g := 0; g < 3; g++ {
+		var sum float64
+		for i := 0; i < spec.QSize; i++ {
+			sum += samples[g*spec.QSize+i].Score
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("tuple %d scores sum to %v", g, sum)
+		}
+	}
+	if _, err := ScoreDistribution(0, spec, TrialConfig{Trials: 10}, 1); err == nil {
+		t.Error("zero tuples accepted")
+	}
+}
+
+func TestConvergenceDecreases(t *testing.T) {
+	tuple, err := GenerateTuple(smallSpec(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := Convergence(tuple, []int{32, 128, 512}, 4, TrialConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("got %d points", len(series))
+	}
+	if math.Abs(series[0]-1) > 1e-12 {
+		t.Errorf("series[0] = %v, want 1 (normalized)", series[0])
+	}
+	if series[2] >= series[0] {
+		t.Errorf("stddev did not decrease with trials: %v", series)
+	}
+	if _, err := Convergence(tuple, nil, 4, TrialConfig{}); err == nil {
+		t.Error("empty counts accepted")
+	}
+	if _, err := Convergence(tuple, []int{10}, 1, TrialConfig{}); err == nil {
+		t.Error("single rep accepted")
+	}
+}
+
+func TestScoreCSVRoundTrip(t *testing.T) {
+	in := []mlfit.Sample{
+		{R: 50, N: 8, S: 88224, Score: 0.0347251055192},
+		{R: 3, N: 4, S: 88302, Score: 0.0292281817457},
+		{R: 7298, N: 58, S: 88334, Score: 0.0350921606481},
+	}
+	var buf bytes.Buffer
+	if err := WriteScoreCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadScoreCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("sample %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadScoreCSVErrors(t *testing.T) {
+	if _, err := ReadScoreCSV(bytes.NewBufferString("1,2,3\n")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := ReadScoreCSV(bytes.NewBufferString("a,b,c,d\n")); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	// Comments and blanks are skipped.
+	out, err := ReadScoreCSV(bytes.NewBufferString("# header\n\n1,2,3,0.5\n"))
+	if err != nil || len(out) != 1 {
+		t.Errorf("out = %v, err = %v", out, err)
+	}
+}
+
+func TestEndToEndTrainingPipeline(t *testing.T) {
+	// Miniature version of the whole §3 pipeline: simulate, score, fit,
+	// and confirm the best function prefers small early tasks like F1-F4.
+	spec := smallSpec()
+	samples, err := ScoreDistribution(4, spec, TrialConfig{Trials: 320}, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := mlfit.FitAll(samples, mlfit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := results[0].Func
+	// The learned function must (weakly) prefer earlier arrivals and
+	// smaller/shorter tasks over the training ranges.
+	lo := best.Eval(10, 2, 3600)
+	hiR := best.Eval(30000, 2, 3600)
+	hiS := best.Eval(10, 2, 86400)
+	if lo > hiR+1e-12 && lo > hiS+1e-12 {
+		t.Errorf("best function %s prefers big/late tasks (lo=%v hiR=%v hiS=%v)",
+			best.Compact(), lo, hiR, hiS)
+	}
+}

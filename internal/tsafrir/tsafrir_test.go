@@ -1,0 +1,155 @@
+package tsafrir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	cases := []Model{
+		{},
+		{Canonical: []float64{600, 60}},
+		{Canonical: []float64{-1, 60}},
+		{Canonical: []float64{60}, PerfectFrac: 2},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: bad model accepted", i)
+		}
+	}
+}
+
+func TestEstimateAlwaysCoversRuntime(t *testing.T) {
+	m := Default()
+	rng := dist.New(8)
+	if err := quick.Check(func(rRaw uint32) bool {
+		r := float64(rRaw%200000) + 1
+		e := m.Estimate(rng, r)
+		return e >= r
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateIsCanonicalWithinMenu(t *testing.T) {
+	m := Default()
+	rng := dist.New(9)
+	menu := make(map[float64]bool, len(m.Canonical))
+	for _, v := range m.Canonical {
+		menu[v] = true
+	}
+	maxMenu := m.Canonical[len(m.Canonical)-1]
+	for i := 0; i < 5000; i++ {
+		r := 1 + rng.Float64()*90000
+		e := m.Estimate(rng, r)
+		if e <= maxMenu && !menu[e] {
+			t.Fatalf("estimate %v for runtime %v is not canonical", e, r)
+		}
+		if e > maxMenu && math.Mod(e, 3600) != 0 {
+			t.Fatalf("overflow estimate %v is not a round hour", e)
+		}
+	}
+}
+
+func TestEstimatesAreFewValued(t *testing.T) {
+	// The whole point of the model: thousands of jobs share a small menu.
+	m := Default()
+	rng := dist.New(10)
+	values := make(map[float64]int)
+	for i := 0; i < 10000; i++ {
+		r := math.Exp(rng.Float64() * 10) // runtimes 1s .. ~6h
+		values[m.Estimate(rng, r)]++
+	}
+	if len(values) > len(m.Canonical)+5 {
+		t.Errorf("estimates took %d distinct values, want about %d", len(values), len(m.Canonical))
+	}
+}
+
+func TestPerfectFraction(t *testing.T) {
+	m := Default()
+	m.PerfectFrac = 1
+	rng := dist.New(11)
+	// With PerfectFrac = 1 every estimate is the tightest canonical cover.
+	for i := 0; i < 1000; i++ {
+		r := 1 + rng.Float64()*10000
+		e := m.Estimate(rng, r)
+		if e < r {
+			t.Fatal("estimate below runtime")
+		}
+		// No canonical value may fit strictly between r and e.
+		for _, c := range m.Canonical {
+			if c >= r && c < e {
+				t.Fatalf("estimate %v not tight for runtime %v (canonical %v fits)", e, r, c)
+			}
+		}
+	}
+}
+
+func TestAccuracyRoughlyUniform(t *testing.T) {
+	// r/e should spread broadly over (0, 1], not concentrate at 1.
+	m := Default()
+	m.PerfectFrac = 0
+	rng := dist.New(12)
+	buckets := make([]int, 4)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		r := 100 + rng.Float64()*30000
+		e := m.Estimate(rng, r)
+		acc := r / e
+		idx := int(acc * 4)
+		if idx > 3 {
+			idx = 3
+		}
+		buckets[idx]++
+	}
+	for b, c := range buckets {
+		frac := float64(c) / n
+		if frac < 0.10 {
+			t.Errorf("accuracy bucket %d holds %.3f of jobs; distribution too concentrated", b, frac)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 1, Runtime: 100},
+		{ID: 2, Runtime: 5000},
+		{ID: 3, Runtime: 90000},
+	}
+	if err := Apply(Default(), jobs, 99); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Estimate < j.Runtime {
+			t.Errorf("job %d: estimate %v < runtime %v", j.ID, j.Estimate, j.Runtime)
+		}
+	}
+	// Deterministic.
+	again := []workload.Job{
+		{ID: 1, Runtime: 100},
+		{ID: 2, Runtime: 5000},
+		{ID: 3, Runtime: 90000},
+	}
+	if err := Apply(Default(), again, 99); err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Estimate != again[i].Estimate {
+			t.Error("Apply not deterministic")
+		}
+	}
+	// Invalid model rejected.
+	if err := Apply(Model{}, jobs, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAccountingRoundTrip(t *testing.T) {
+	recs := []AccountingRecord{
+		{Job: Job{ID: 1, Submit: 0, Runtime: 100, Estimate: 120, Cores: 4}, Wait: 0},
+		{Job: Job{ID: 2, Submit: 50, Runtime: 10, Estimate: 60, Cores: 8}, Wait: 125.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteAccountingSWF(&buf, "testbox", 64, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAccountingSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].Job != recs[i].Job || back[i].Wait != recs[i].Wait {
+			t.Errorf("record %d: got %+v, want %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestAccountingParsableByPlainParser(t *testing.T) {
+	// An accounting log is still a valid SWF trace for the plain parser.
+	recs := []AccountingRecord{
+		{Job: Job{ID: 1, Submit: 10, Runtime: 100, Estimate: 100, Cores: 2}, Wait: 5},
+	}
+	var buf bytes.Buffer
+	if err := WriteAccountingSWF(&buf, "x", 16, recs); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 || tr.Jobs[0] != recs[0].Job {
+		t.Errorf("plain parse = %+v", tr.Jobs)
+	}
+	if tr.MaxProcs != 16 {
+		t.Errorf("MaxProcs = %d", tr.MaxProcs)
+	}
+}
+
+func TestParseAccountingSkipsJunk(t *testing.T) {
+	in := "; header\n\n1 0 5 10 1 -1 -1 1 10 -1 1\n2 0 -1 -1 -1 -1 -1 -1 -1 -1 0\n"
+	recs, err := ParseAccountingSWF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1 (incomplete job skipped)", len(recs))
+	}
+	if recs[0].Wait != 5 {
+		t.Errorf("wait = %v, want 5", recs[0].Wait)
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleSWF = `; Computer: Test Machine
+; MaxProcs: 128
+; UnixStartTime: 0
+1 0 3 100 4 -1 -1 4 120 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 50 -1 200 -1 -1 -1 8 300 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 60 -1 -1 4 -1 -1 4 60 -1 0 -1 -1 -1 -1 -1 -1 -1
+4 70 -1 10 2 -1 -1 2 -1 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxProcs != 128 {
+		t.Errorf("MaxProcs = %d, want 128 (from header)", tr.MaxProcs)
+	}
+	if tr.Name != "Test Machine" {
+		t.Errorf("Name = %q, want from Computer header", tr.Name)
+	}
+	// Job 3 has unknown runtime and must be skipped.
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("parsed %d jobs, want 3", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.ID != 1 || j.Submit != 0 || j.Runtime != 100 || j.Cores != 4 || j.Estimate != 120 {
+		t.Errorf("job 1 = %+v", j)
+	}
+	// Job 2: allocated procs is -1, falls back to requested procs (8).
+	if tr.Jobs[1].Cores != 8 {
+		t.Errorf("job 2 cores = %d, want 8 (requested fallback)", tr.Jobs[1].Cores)
+	}
+	// Job 4: estimate -1 falls back to runtime.
+	if tr.Jobs[2].Estimate != 10 {
+		t.Errorf("job 4 estimate = %v, want 10 (runtime fallback)", tr.Jobs[2].Estimate)
+	}
+	if tr.Header[";gensched-skipped"] != "1" {
+		t.Errorf("skipped = %q, want 1", tr.Header[";gensched-skipped"])
+	}
+}
+
+func TestParseSWFNoHeaderDerivesMaxProcs(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader("1 0 -1 10 16 -1 -1 16 20 -1 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxProcs != 16 {
+		t.Errorf("MaxProcs = %d, want 16 (derived)", tr.MaxProcs)
+	}
+}
+
+func TestParseSWFBadLine(t *testing.T) {
+	if _, err := ParseSWF(strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := ParseSWF(strings.NewReader("a b c d e f g h i\n")); err == nil {
+		t.Error("non-numeric line accepted")
+	}
+}
+
+func TestParseSWFSortsBySubmit(t *testing.T) {
+	in := "2 100 -1 10 1 -1 -1 1 10 -1 1\n1 50 -1 10 1 -1 -1 1 10 -1 1\n"
+	tr, err := ParseSWF(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].ID != 1 {
+		t.Error("jobs not sorted by submit time")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	orig := &Trace{Name: "roundtrip", MaxProcs: 64, Jobs: []Job{
+		{ID: 1, Submit: 0, Runtime: 10, Estimate: 20, Cores: 4},
+		{ID: 2, Submit: 5.5, Runtime: 123.25, Estimate: 150, Cores: 64},
+		{ID: 3, Submit: 99, Runtime: 1, Estimate: 1, Cores: 1},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxProcs != orig.MaxProcs {
+		t.Errorf("MaxProcs = %d, want %d", back.MaxProcs, orig.MaxProcs)
+	}
+	if len(back.Jobs) != len(orig.Jobs) {
+		t.Fatalf("round-trip job count %d, want %d", len(back.Jobs), len(orig.Jobs))
+	}
+	for i := range orig.Jobs {
+		if back.Jobs[i] != orig.Jobs[i] {
+			t.Errorf("job %d: got %+v, want %+v", i, back.Jobs[i], orig.Jobs[i])
+		}
+	}
+}
+
+func TestSWFRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(ids []uint16, seeds []uint32) bool {
+		n := len(ids)
+		if len(seeds) < n {
+			n = len(seeds)
+		}
+		if n == 0 {
+			return true
+		}
+		tr := &Trace{MaxProcs: 1 << 20}
+		for i := 0; i < n; i++ {
+			tr.Jobs = append(tr.Jobs, Job{
+				ID:       i + 1,
+				Submit:   float64(seeds[i] % 100000),
+				Runtime:  float64(seeds[i]%9999) + 1,
+				Estimate: float64(seeds[i]%99999) + 1,
+				Cores:    int(ids[i]%512) + 1,
+			})
+		}
+		tr.SortBySubmit()
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, tr); err != nil {
+			return false
+		}
+		back, err := ParseSWF(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Jobs) != len(tr.Jobs) {
+			return false
+		}
+		for i := range tr.Jobs {
+			if back.Jobs[i] != tr.Jobs[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+)
+
+func mkTrace(submits ...float64) *Trace {
+	tr := &Trace{MaxProcs: 8}
+	for i, s := range submits {
+		tr.Jobs = append(tr.Jobs, Job{ID: i + 1, Submit: s, Runtime: 10, Estimate: 10, Cores: 1})
+	}
+	return tr
+}
+
+func TestWindowsBasic(t *testing.T) {
+	tr := mkTrace(0, 50, 99, 100, 150, 250)
+	ws, err := Windows(tr, 100, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2", len(ws))
+	}
+	if len(ws[0]) != 3 || len(ws[1]) != 2 {
+		t.Fatalf("window sizes = %d, %d; want 3, 2", len(ws[0]), len(ws[1]))
+	}
+	// Rebased submit times: window 0 starts at 1.
+	if ws[0][0].Submit != 1 || ws[0][1].Submit != 51 {
+		t.Errorf("window 0 submits = %v, %v; want 1, 51", ws[0][0].Submit, ws[0][1].Submit)
+	}
+	// Window 1: original 100 becomes 1, 150 becomes 51.
+	if ws[1][0].Submit != 1 || ws[1][1].Submit != 51 {
+		t.Errorf("window 1 submits = %v, %v; want 1, 51", ws[1][0].Submit, ws[1][1].Submit)
+	}
+}
+
+func TestWindowsNonZeroOrigin(t *testing.T) {
+	tr := mkTrace(1000, 1050, 1150)
+	ws, err := Windows(tr, 100, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws[0]) != 2 || len(ws[1]) != 1 {
+		t.Fatalf("window sizes = %d, %d", len(ws[0]), len(ws[1]))
+	}
+	if ws[0][0].Submit != 0 || ws[1][0].Submit != 50 {
+		t.Errorf("rebased submits wrong: %v, %v", ws[0][0].Submit, ws[1][0].Submit)
+	}
+}
+
+func TestWindowsErrors(t *testing.T) {
+	tr := mkTrace(0, 10)
+	if _, err := Windows(tr, 100, 0, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := Windows(tr, 0, 1, 0); err == nil {
+		t.Error("zero window length accepted")
+	}
+	if _, err := Windows(&Trace{}, 100, 1, 0); err != ErrNoJobs {
+		t.Error("empty trace accepted")
+	}
+	// Trace too short for the requested windows.
+	if _, err := Windows(tr, 100, 5, 0); err == nil {
+		t.Error("short trace accepted")
+	}
+}
+
+func TestWindowsDisjointAndComplete(t *testing.T) {
+	// Every job in range appears in exactly one window.
+	submits := make([]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		submits = append(submits, float64(i*7%1000))
+	}
+	tr := mkTrace(submits...)
+	tr.SortBySubmit()
+	ws, err := Windows(tr, 250, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for wi, w := range ws {
+		total += len(w)
+		for _, j := range w {
+			if j.Submit < 0 || j.Submit >= 250 {
+				t.Errorf("window %d: rebased submit %v outside [0, 250)", wi, j.Submit)
+			}
+		}
+	}
+	if total != len(tr.Jobs) {
+		t.Errorf("windows hold %d jobs, trace has %d", total, len(tr.Jobs))
+	}
+}
