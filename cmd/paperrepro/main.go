@@ -1,24 +1,32 @@
 // Command paperrepro regenerates every table and figure of the paper and
 // writes the series as CSV files plus a human-readable report.
 //
+// The training-side experiments (Figures 1–3, Table 3) drive the
+// internal experiments package; the evaluation scenarios (Figures 4–9,
+// Table 4) are declared as gensched Scenarios — one policy-axis Grid per
+// scenario over the suite's shared workloads — and executed by the
+// public Runner, with Ctrl-C cancelling the run cleanly.
+//
 // Usage:
 //
-//	paperrepro -out out/            # reduced scale (minutes)
-//	paperrepro -full -out out/      # paper scale (expect hours)
-//	paperrepro -only fig4a,table3   # a subset of experiments
+//	paperrepro -out out/              # reduced scale (minutes)
+//	paperrepro -full -out out/        # paper scale (expect hours)
+//	paperrepro -only scenarios,table3 # a subset of experiments
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
+	gensched "github.com/hpcsched/gensched"
 	"github.com/hpcsched/gensched/internal/experiments"
 	"github.com/hpcsched/gensched/internal/expr"
-	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/trainer"
 )
 
@@ -33,13 +41,15 @@ func main() {
 	if *full {
 		cfg = experiments.DefaultConfig()
 	}
-	if err := run(cfg, *out, *only); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, cfg, *out, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiments.Config, outDir, only string) error {
+func run(ctx context.Context, cfg experiments.Config, outDir, only string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -171,16 +181,43 @@ func run(cfg experiments.Config, outDir, only string) error {
 	}
 
 	if selected("table4") || selected("scenarios") {
+		// The suite builds every workload once (fig4a/5a/6a share their
+		// sequences, as the paper re-schedules the same windows under
+		// each condition); each scenario then becomes one policy-axis
+		// grid executed by the public Runner.
 		suite, err := experiments.BuildSuite(cfg)
 		if err != nil {
 			return err
 		}
-		t4, err := suite.Table4(sched.Registry())
-		if err != nil {
-			return err
+		t4 := &experiments.Table4Result{}
+		for _, p := range gensched.Policies() {
+			t4.Policies = append(t4.Policies, p.Name())
 		}
-		for _, res := range t4.Results {
-			path := filepath.Join(outDir, res.Scenario.ID+".csv")
+		r := &gensched.Runner{Workers: cfg.Workers}
+		for _, esc := range suite.Scenarios() {
+			opts := []gensched.Option{
+				gensched.WithName(esc.ID),
+				gensched.WithSeed(cfg.Seed),
+				gensched.WithBackfill(esc.Backfill),
+			}
+			if esc.UseEstimates {
+				opts = append(opts, gensched.WithEstimates())
+			}
+			sc, err := gensched.NewScenario(opts...)
+			if err != nil {
+				return err
+			}
+			g, err := gensched.NewGrid(sc,
+				gensched.OverSources(gensched.FixedWindows(esc.Name, esc.Cores, esc.Windows)),
+				gensched.OverPolicies())
+			if err != nil {
+				return err
+			}
+			res, err := r.Run(ctx, g)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(outDir, esc.ID+".csv")
 			f, err := os.Create(path)
 			if err != nil {
 				return err
@@ -190,8 +227,13 @@ func run(cfg experiments.Config, outDir, only string) error {
 				return err
 			}
 			f.Close()
-			logf("%s (%s) -> %s", res.Scenario.ID, res.Scenario.Name, path)
+			logf("%s (%s) -> %s", esc.ID, esc.Name, path)
 			logf("%s", res.ArtifactReport())
+			row := experiments.Table4Row{Label: esc.Name}
+			for _, c := range res.Cells {
+				row.Medians = append(row.Medians, c.Median())
+			}
+			t4.Rows = append(t4.Rows, row)
 		}
 		logf("table4:\n%s", t4.Format())
 	}

@@ -5,6 +5,8 @@
 // average bounded slowdown in the artifact's output format, plus an ASCII
 // boxplot standing in for the paper's figure panels.
 //
+// The experiment is declared as a gensched Scenario with a policy-axis
+// Grid and executed by the Runner; Ctrl-C cancels the grid cleanly.
 // Workloads come either from the Lublin model (default), from one of the
 // synthetic platform stand-ins, or from an SWF file.
 //
@@ -16,16 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"github.com/hpcsched/gensched/internal/experiments"
-	"github.com/hpcsched/gensched/internal/sched"
-	"github.com/hpcsched/gensched/internal/sim"
-	"github.com/hpcsched/gensched/internal/traces"
-	"github.com/hpcsched/gensched/internal/workload"
+	gensched "github.com/hpcsched/gensched"
 )
 
 func main() {
@@ -44,45 +44,35 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*cores, *sequences, *days, *load, *platform, *swf, *policies, *custom,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *cores, *sequences, *days, *load, *platform, *swf, *policies, *custom,
 		*estimates, *backfill, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "schedtest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cores, sequences int, days, load float64, platform, swf, policyList, custom string,
+func run(ctx context.Context, cores, sequences int, days, load float64, platform, swf, policyList, custom string,
 	estimates bool, backfill string, seed uint64, workers int) error {
 
-	cfg := experiments.Config{
-		Seed: seed, Sequences: sequences, WindowDays: days,
-		ModelLoad: load, Workers: workers,
-	}
 	bf, err := parseBackfill(backfill)
 	if err != nil {
 		return err
 	}
-	pols, err := parsePolicies(policyList)
-	if err != nil {
-		return err
-	}
-	if custom != "" {
-		p, err := sched.ParseExpr("CUSTOM", custom)
-		if err != nil {
-			return err
-		}
-		pols = append(pols, p)
-	}
 
-	var windows [][]workload.Job
-	name := fmt.Sprintf("lublin_%d", cores)
+	// Declare the scenario: workload source first, then the conditions.
+	opts := []gensched.Option{
+		gensched.WithSeed(seed),
+		gensched.WithBackfill(bf),
+	}
 	switch {
 	case swf != "":
 		f, err := os.Open(swf)
 		if err != nil {
 			return err
 		}
-		tr, err := workload.ParseSWF(f)
+		tr, err := gensched.ReadSWF(f)
 		f.Close()
 		if err != nil {
 			return err
@@ -90,35 +80,34 @@ func run(cores, sequences int, days, load float64, platform, swf, policyList, cu
 		if fixed := tr.Repair(); fixed > 0 {
 			fmt.Fprintf(os.Stderr, "schedtest: repaired %d jobs (oversized or missing estimates)\n", fixed)
 		}
-		cores = tr.MaxProcs
-		name = swf
-		windows, err = workload.Windows(tr, days*24*3600, sequences, 1)
-		if err != nil {
-			return err
-		}
+		tr.Name = swf
+		opts = append(opts, gensched.WithTrace(tr), gensched.WithWindows(days, sequences))
 	case platform != "":
-		spec, err := platformSpec(platform)
-		if err != nil {
-			return err
-		}
-		cores = spec.Cores
-		name = spec.Name
-		windows, err = experiments.TraceWindows(cfg, spec)
-		if err != nil {
-			return err
-		}
+		opts = append(opts, gensched.WithPlatform(platform), gensched.WithWindows(days, sequences))
 	default:
-		windows, err = experiments.ModelWindows(cfg, cores)
-		if err != nil {
-			return err
-		}
+		opts = append(opts,
+			gensched.WithCores(cores),
+			gensched.WithLublin(days, load),
+			gensched.WithSequences(sequences))
+	}
+	if estimates {
+		opts = append(opts, gensched.WithEstimates())
+	}
+	sc, err := gensched.NewScenario(opts...)
+	if err != nil {
+		return err
 	}
 
-	sc := experiments.Scenario{
-		ID: "schedtest", Name: name, Cores: cores,
-		UseEstimates: estimates, Backfill: bf, Windows: windows,
+	// The policy list is the grid's only axis.
+	axis, err := policyAxis(policyList, custom)
+	if err != nil {
+		return err
 	}
-	res, err := experiments.RunDynamic(sc, pols, workers)
+	g, err := gensched.NewGrid(sc, axis...)
+	if err != nil {
+		return err
+	}
+	res, err := (&gensched.Runner{Workers: workers}).Run(ctx, g)
 	if err != nil {
 		return err
 	}
@@ -126,43 +115,35 @@ func run(cores, sequences int, days, load float64, platform, swf, policyList, cu
 	return nil
 }
 
-func parseBackfill(s string) (sim.BackfillMode, error) {
+func parseBackfill(s string) (gensched.BackfillMode, error) {
 	switch strings.ToLower(s) {
 	case "none", "":
-		return sim.BackfillNone, nil
+		return gensched.BackfillNone, nil
 	case "easy", "aggressive":
-		return sim.BackfillEASY, nil
+		return gensched.BackfillEASY, nil
 	case "conservative":
-		return sim.BackfillConservative, nil
+		return gensched.BackfillConservative, nil
 	}
 	return 0, fmt.Errorf("unknown backfill mode %q", s)
 }
 
-func parsePolicies(list string) ([]sched.Policy, error) {
+func policyAxis(list, custom string) ([]gensched.Axis, error) {
+	var axes []gensched.Axis
 	if list == "" {
-		return sched.Registry(), nil
+		axes = append(axes, gensched.OverPolicies()) // the paper's eight
+	} else {
+		var names []string
+		for _, name := range strings.Split(list, ",") {
+			names = append(names, strings.TrimSpace(name))
+		}
+		axes = append(axes, gensched.OverPolicies(names...))
 	}
-	var out []sched.Policy
-	for _, name := range strings.Split(list, ",") {
-		p, err := sched.ByName(strings.TrimSpace(name))
+	if custom != "" {
+		p, err := gensched.ParsePolicy("CUSTOM", custom)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, p)
+		axes = append(axes, gensched.OverPolicySet(p))
 	}
-	return out, nil
-}
-
-func platformSpec(name string) (traces.PlatformSpec, error) {
-	switch strings.ToLower(name) {
-	case "curie":
-		return traces.Curie, nil
-	case "intrepid":
-		return traces.Intrepid, nil
-	case "sdsc-blue", "sdsc":
-		return traces.SDSCBlue, nil
-	case "ctc-sp2", "ctc":
-		return traces.CTCSP2, nil
-	}
-	return traces.PlatformSpec{}, fmt.Errorf("unknown platform %q", name)
+	return axes, nil
 }

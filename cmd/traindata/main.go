@@ -4,6 +4,10 @@
 // and writes the resulting score(r, n, s) distribution as CSV in the
 // artifact's format (runtime,#processors,submit time,score).
 //
+// The default path goes through the public gensched facade (the same
+// engine the Scenario/Runner API fans out on); campaign mode keeps the
+// artifact's resumable per-tuple file layout.
+//
 // Usage:
 //
 //	traindata -tuples 64 -trials 262144 -out score-distribution.csv
@@ -15,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	gensched "github.com/hpcsched/gensched"
 	"github.com/hpcsched/gensched/internal/lublin"
 	"github.com/hpcsched/gensched/internal/mlfit"
 	"github.com/hpcsched/gensched/internal/trainer"
@@ -35,12 +40,6 @@ func main() {
 		gather  = flag.Bool("gather", false, "campaign mode: join <dir>/training-data/*.csv into -out and exit")
 	)
 	flag.Parse()
-
-	spec := trainer.TupleSpec{
-		SSize: *ssize, QSize: *qsize, Cores: *cores,
-		Params: lublin.DefaultParams(*cores),
-	}
-	cfg := trainer.TrialConfig{Trials: *trials, Workers: *workers}
 	start := time.Now()
 
 	var samples []mlfit.Sample
@@ -49,7 +48,15 @@ func main() {
 	case *dir != "" && *gather:
 		samples, err = trainer.Gather(*dir)
 	case *dir != "":
-		c := trainer.Campaign{Dir: *dir, Spec: spec, Trials: cfg, Seed: *seed}
+		spec := trainer.TupleSpec{
+			SSize: *ssize, QSize: *qsize, Cores: *cores,
+			Params: lublin.DefaultParams(*cores),
+		}
+		c := trainer.Campaign{
+			Dir: *dir, Spec: spec,
+			Trials: trainer.TrialConfig{Trials: *trials, Workers: *workers},
+			Seed:   *seed,
+		}
 		if err := c.Run(*from, *tuples); err != nil {
 			fmt.Fprintln(os.Stderr, "traindata:", err)
 			os.Exit(1)
@@ -58,7 +65,10 @@ func main() {
 			*from, *from+*tuples, *dir, time.Since(start).Round(time.Millisecond))
 		return
 	default:
-		samples, err = trainer.ScoreDistribution(*tuples, spec, cfg, *seed)
+		samples, err = gensched.GenerateScoreDistribution(gensched.TrainingConfig{
+			Tuples: *tuples, Trials: *trials, Seed: *seed,
+			SSize: *ssize, QSize: *qsize, Cores: *cores, Workers: *workers,
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traindata:", err)

@@ -5,10 +5,15 @@
 // learned policies gain the least from backfilling because their initial
 // order already packs the machine well.
 //
+// The whole comparison is one grid: 8 policies × 3 backfill modes over a
+// single shared workload. Cells differing only in policy or backfill
+// schedule identical jobs, so every column is a paired comparison.
+//
 //	go run ./examples/backfillcompare
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,38 +21,49 @@ import (
 )
 
 func main() {
-	const cores = 256
-	trace, err := gensched.LublinTrace(cores, 3, 1.05, 2024)
+	sc, err := gensched.NewScenario(
+		gensched.WithCores(256),
+		gensched.WithLublin(3, 1.05), // three saturated days
+		gensched.WithEstimates(),     // schedule on Tsafrir user estimates
+		gensched.WithSeed(2024),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Replace the perfect estimates with realistic Tsafrir ones.
-	if err := gensched.ApplyEstimates(trace.Jobs, 1); err != nil {
+	modes := []gensched.BackfillMode{
+		gensched.BackfillNone, gensched.BackfillEASY, gensched.BackfillConservative,
+	}
+	g, err := gensched.NewGrid(sc,
+		gensched.OverPolicies(), // the paper's eight
+		gensched.OverBackfills(modes...),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("workload: %d jobs over 3 days on %d cores, user estimates\n\n", len(trace.Jobs), cores)
+	res, err := (&gensched.Runner{KeepSims: true}).Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %d jobs over 3 days on %d cores, user estimates\n\n",
+		len(res.Cells[0].Sims[0].Stats), res.Cells[0].Cores)
 	fmt.Printf("%-8s %14s %14s %14s %10s\n", "policy", "no backfill", "EASY", "conservative", "backfills")
 
-	for _, p := range gensched.Policies() {
+	// Cells expand policies innermost, backfills outside them: cell index
+	// = bi*8 + pi. Walk one row per policy.
+	nPol := len(gensched.Policies())
+	for pi := 0; pi < nPol; pi++ {
 		var row [3]float64
 		var backfills int
-		for i, mode := range []gensched.BackfillMode{
-			gensched.BackfillNone, gensched.BackfillEASY, gensched.BackfillConservative,
-		} {
-			res, err := gensched.Simulate(cores, trace.Jobs, gensched.SimOptions{
-				Policy:       p,
-				UseEstimates: true,
-				Backfill:     mode,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			row[i] = res.AVEbsld
-			if mode == gensched.BackfillEASY {
-				backfills = res.Backfilled
+		for bi := range modes {
+			c := res.Cells[bi*nPol+pi]
+			row[bi] = c.AVEbsld
+			if c.Scenario.Backfill == gensched.BackfillEASY {
+				backfills = c.Sims[0].Backfilled
 			}
 		}
-		fmt.Printf("%-8s %14.2f %14.2f %14.2f %10d\n", p.Name(), row[0], row[1], row[2], backfills)
+		fmt.Printf("%-8s %14.2f %14.2f %14.2f %10d\n",
+			res.Cells[pi].Scenario.Policy.Name(), row[0], row[1], row[2], backfills)
 	}
 	fmt.Println("\nAVEbsld, lower is better. 'backfills' counts jobs started out of order by EASY.")
 }

@@ -7,80 +7,76 @@
 // (1,152 cores) instead of the paper's generic 256-core configuration,
 // fits a custom policy to that platform's own score distribution, and
 // compares it against the paper's general F1/F2 policies on fresh
-// sequences from the same platform.
+// sequences from the same platform — one grid with the custom policy as
+// an extra axis entry.
 //
 //	go run ./examples/custompolicy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"github.com/hpcsched/gensched/internal/experiments"
-	"github.com/hpcsched/gensched/internal/lublin"
-	"github.com/hpcsched/gensched/internal/mlfit"
-	"github.com/hpcsched/gensched/internal/sched"
-	"github.com/hpcsched/gensched/internal/stats"
-	"github.com/hpcsched/gensched/internal/traces"
-	"github.com/hpcsched/gensched/internal/trainer"
+	gensched "github.com/hpcsched/gensched"
 )
 
 func main() {
-	platform := traces.SDSCBlue
-	fmt.Printf("platform: %s (%d cores, util %.1f%%)\n\n",
-		platform.Name, platform.Cores, 100*platform.TargetUtil)
+	const platform = "sdsc-blue"
+	const cores = 1152
+	fmt.Printf("platform: %s (%d cores)\n\n", platform, cores)
 
 	// Step 1: score tuples drawn from THIS platform's workload model —
 	// machine size and size distribution differ from the paper's generic
 	// 256-core training setup.
 	fmt.Println("training a custom policy on the platform's own workload model...")
-	spec := trainer.TupleSpec{
-		SSize: 16, QSize: 32,
-		Cores:  platform.Cores,
-		Params: lublin.DefaultParams(platform.Cores),
-	}
-	samples, err := trainer.ScoreDistribution(10, spec, trainer.TrialConfig{Trials: 4096}, 404)
+	samples, err := gensched.GenerateScoreDistribution(gensched.TrainingConfig{
+		Tuples: 10,
+		Trials: 4096,
+		Seed:   404,
+		Cores:  cores,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ranked, err := mlfit.FitAll(samples, mlfit.Options{})
+	policies, fits, err := gensched.FitPolicies(samples, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	best := mlfit.TopDistinct(ranked, 1)[0]
-	simp, _ := best.Func.Simplified()
-	fmt.Printf("  custom policy: %s (fitness %.3g, order fidelity %.3f)\n\n",
-		simp.Compact(), best.Rank, mlfit.OrderFidelity(best.Func, samples))
-	custom := sched.Expr("CUSTOM", simp)
+	custom := policies[0]
+	simp, _ := fits[0].Func.Simplified()
+	fmt.Printf("  custom policy: %s (fitness %.3g)\n\n", simp.Compact(), fits[0].Rank)
 
 	// Step 2: evaluate on fresh sequences from the platform stand-in,
-	// under the most realistic condition (estimates + EASY backfilling).
-	cfg := experiments.QuickConfig()
-	cfg.Seed = 777 // disjoint from the training seed
-	windows, err := experiments.TraceWindows(cfg, platform)
+	// under a realistic condition (user estimates), with a seed disjoint
+	// from the training seed.
+	sc, err := gensched.NewScenario(
+		gensched.WithPlatform(platform),
+		gensched.WithWindows(2, 4), // four 2-day sequences
+		gensched.WithEstimates(),
+		gensched.WithSeed(777),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc := experiments.Scenario{
-		ID: "custom", Name: platform.Name, Cores: platform.Cores,
-		UseEstimates: true, Windows: windows,
-	}
-	contenders := []sched.Policy{sched.FCFS(), sched.SPT(), sched.F1(), sched.F2(), custom}
-	res, err := experiments.RunDynamic(sc, contenders, 0)
+	g, err := gensched.NewGrid(sc,
+		gensched.OverPolicies("FCFS", "SPT", "F1", "F2"),
+		gensched.OverPolicySet(custom),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("median AVEbsld over %d sequences (%s, user estimates):\n", cfg.Sequences, platform.Name)
-	med := res.Medians()
-	for i, p := range res.Policies {
-		fmt.Printf("  %-7s %9.2f\n", p, med[i])
+	res, err := (&gensched.Runner{}).Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("median AVEbsld over %d sequences (%s, user estimates):\n", sc.Sequences, platform)
+	for _, c := range res.Cells {
+		fmt.Printf("  %-7s %9.2f\n", c.Scenario.Policy.Name(), c.Median())
 	}
 	fmt.Printf("\nspread (IQR) — the stability property the paper highlights:\n")
-	for i, p := range res.Policies {
-		b, err := stats.NewBoxplot(res.PerSeq[i])
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-7s %9.2f\n", p, b.IQR())
+	for _, c := range res.Cells {
+		fmt.Printf("  %-7s %9.2f\n", c.Scenario.Policy.Name(), c.Quantile(0.75)-c.Quantile(0.25))
 	}
 }

@@ -7,26 +7,43 @@
 // trained once on a 256-core model generalize across wildly different
 // platforms.
 //
+// The whole study is one declarative grid — platforms × the paper's
+// eight policies — executed on the Runner's worker pool.
+//
 //	go run ./examples/platformstudy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
 
 	gensched "github.com/hpcsched/gensched"
-	"github.com/hpcsched/gensched/internal/experiments"
-	"github.com/hpcsched/gensched/internal/sched"
-	"github.com/hpcsched/gensched/internal/sim"
-	"github.com/hpcsched/gensched/internal/traces"
 )
 
 func main() {
-	cfg := experiments.QuickConfig()
-	cfg.Sequences = 3
-	cfg.WindowDays = 5
+	sc, err := gensched.NewScenario(
+		gensched.WithWindows(5, 3), // three 5-day sequences
+		gensched.WithEstimates(),
+		gensched.WithEASY(),
+		gensched.WithSeed(20171112),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := gensched.NewGrid(sc,
+		gensched.OverPlatforms(), // all four Table 5 stand-ins
+		gensched.OverPolicies(),  // the paper's eight
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := (&gensched.Runner{}).Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
 	fmt.Fprint(tw, "platform\tcores\t")
@@ -35,22 +52,13 @@ func main() {
 	}
 	fmt.Fprintln(tw)
 
-	for _, spec := range traces.All() {
-		windows, err := experiments.TraceWindows(cfg, spec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sc := experiments.Scenario{
-			ID: spec.Name, Name: spec.Name, Cores: spec.Cores,
-			UseEstimates: true, Backfill: sim.BackfillEASY, Windows: windows,
-		}
-		res, err := experiments.RunDynamic(sc, sched.Registry(), 0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(tw, "%s\t%d\t", spec.Name, spec.Cores)
-		for _, m := range res.Medians() {
-			fmt.Fprintf(tw, "%.1f\t", m)
+	// Platforms are the outer axis, policies the inner: each platform's
+	// eight cells are contiguous.
+	nPol := len(gensched.Policies())
+	for i := 0; i < len(res.Cells); i += nPol {
+		fmt.Fprintf(tw, "%s\t%d\t", res.Cells[i].Workload, res.Cells[i].Cores)
+		for _, c := range res.Cells[i : i+nPol] {
+			fmt.Fprintf(tw, "%.1f\t", c.Median())
 		}
 		fmt.Fprintln(tw)
 	}

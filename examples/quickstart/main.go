@@ -1,11 +1,12 @@
-// Quickstart: generate a day of synthetic cluster workload, schedule it
-// with the classical FCFS policy and with the paper's learned F1 policy,
+// Quickstart: declare a scenario — one saturated day of synthetic
+// cluster workload on 256 cores — fan it out over a three-policy grid,
 // and compare the average bounded slowdowns.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,26 +14,35 @@ import (
 )
 
 func main() {
-	const cores = 256
-
 	// A saturated day on a 256-core machine, from the Lublin-Feitelson
 	// workload model (offered load 1.05 — the regime where the choice of
 	// scheduling policy dominates performance).
-	trace, err := gensched.LublinTrace(cores, 1, 1.05, 42)
+	sc, err := gensched.NewScenario(
+		gensched.WithCores(256),
+		gensched.WithLublin(1, 1.05),
+		gensched.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("workload: %d jobs on %d cores\n\n", len(trace.Jobs), cores)
 
-	for _, name := range []string{"FCFS", "SPT", "F1"} {
-		res, err := gensched.Simulate(cores, trace.Jobs, gensched.SimOptions{
-			Policy: gensched.MustPolicy(name),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+	// The grid's only axis is the policy; all three cells schedule the
+	// exact same workload, so the comparison is paired.
+	g, err := gensched.NewGrid(sc, gensched.OverPolicies("FCFS", "SPT", "F1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := (&gensched.Runner{KeepSims: true}).Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	first := res.Cells[0].Sims[0]
+	fmt.Printf("workload: %d jobs on %d cores\n\n", len(first.Stats), res.Cells[0].Cores)
+	for _, c := range res.Cells {
+		sim := c.Sims[0]
 		fmt.Printf("%-5s average bounded slowdown %9.2f   max wait %7.0fs   utilization %.2f\n",
-			name, res.AVEbsld, res.MaxWait, res.Utilization)
+			c.Scenario.Policy.Name(), c.AVEbsld, sim.MaxWait, sim.Utilization)
 	}
 
 	fmt.Println("\nLower is better: F1 = log10(r)*n + 870*log10(s), Table 3 of the paper.")

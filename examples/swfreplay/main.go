@@ -1,26 +1,29 @@
 // Swfreplay demonstrates the Standard Workload Format round trip the
 // paper's evaluation relies on: write a synthetic trace as SWF (the
-// Parallel Workloads Archive format), parse it back, slice it into
-// disjoint sequences, and replay each sequence through the simulator the
-// way the dynamic scheduling experiments do.
+// Parallel Workloads Archive format), parse it back, and replay it as a
+// Scenario — the parsed trace sliced into disjoint sequences, scheduled
+// under every grid policy the way the dynamic scheduling experiments do.
 //
 //	go run ./examples/swfreplay
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	gensched "github.com/hpcsched/gensched"
-	"os"
 )
 
 func main() {
 	const cores = 128
 
-	// Generate six days of workload and persist it as SWF.
-	trace, err := gensched.LublinTrace(cores, 6, 0.95, 7)
+	// Generate twelve days of workload and persist it as SWF. Load
+	// calibration to 1.05 compresses the clock, leaving a dense trace a
+	// few days long.
+	trace, err := gensched.LublinTrace(cores, 12, 1.05, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,23 +54,30 @@ func main() {
 	fmt.Printf("parsed back: %d jobs, %d cores, util %.1f%%, mean size %.1f cores\n\n",
 		st.Jobs, parsed.MaxProcs, 100*st.Utilization, st.MeanCores)
 
-	// Replay three disjoint 2-day sequences under two policies.
-	windows, err := gensched.SliceWindows(parsed, 2, 3)
+	// Replay three disjoint two-day sequences under two policies: the
+	// parsed trace is the scenario's workload source, the policies are
+	// the grid's axis.
+	sc, err := gensched.NewScenario(
+		gensched.WithTrace(parsed),
+		gensched.WithWindows(2, 3),
+		gensched.WithEstimates(),
+		gensched.WithEASY(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, name := range []string{"FCFS", "F1"} {
-		fmt.Printf("%s:", name)
-		for i, w := range windows {
-			res, err := gensched.Simulate(parsed.MaxProcs, w, gensched.SimOptions{
-				Policy:       gensched.MustPolicy(name),
-				UseEstimates: true,
-				Backfill:     gensched.BackfillEASY,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  seq%d AVEbsld=%.2f", i+1, res.AVEbsld)
+	g, err := gensched.NewGrid(sc, gensched.OverPolicies("FCFS", "F1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := (&gensched.Runner{}).Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		fmt.Printf("%s:", c.Scenario.Policy.Name())
+		for i, v := range c.PerSeq {
+			fmt.Printf("  seq%d AVEbsld=%.2f", i+1, v)
 		}
 		fmt.Println()
 	}

@@ -1,13 +1,14 @@
 // Trainpolicy runs the paper's whole pipeline end to end, at miniature
 // scale: simulate permutation trials of task sets to build a score
 // distribution (§3.2), fit all 576 candidate nonlinear functions by
-// weighted regression (§3.3), and use the best one to schedule a fresh
-// workload against the baselines.
+// weighted regression (§3.3), and race the best one against the
+// baselines on a fresh workload — a one-axis grid on the Runner.
 //
 //	go run ./examples/trainpolicy
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,23 +41,30 @@ func main() {
 	}
 	fmt.Println()
 
-	// Step 3: the learned function is a scheduling policy. Try it on a
-	// fresh saturated workload against the paper's baselines.
+	// Step 3: the learned function is a scheduling policy. Race it on a
+	// fresh saturated workload against the paper's baselines — one grid,
+	// policies as the axis, everything else shared.
 	fmt.Println("step 3: scheduling a fresh 2-day workload with the learned policy...")
-	trace, err := gensched.LublinTrace(256, 2, 1.05, 99)
+	sc, err := gensched.NewScenario(
+		gensched.WithCores(256),
+		gensched.WithLublin(2, 1.05),
+		gensched.WithSeed(99),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	contenders := append([]gensched.Policy{
-		gensched.MustPolicy("FCFS"),
-		gensched.MustPolicy("SPT"),
-		gensched.MustPolicy("F1"),
-	}, policies[0])
-	for _, p := range contenders {
-		res, err := gensched.Simulate(256, trace.Jobs, gensched.SimOptions{Policy: p})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-5s AVEbsld %9.2f\n", p.Name(), res.AVEbsld)
+	g, err := gensched.NewGrid(sc,
+		gensched.OverPolicies("FCFS", "SPT", "F1"),
+		gensched.OverPolicySet(policies[0]),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := (&gensched.Runner{}).Run(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		fmt.Printf("  %-5s AVEbsld %9.2f\n", c.Scenario.Policy.Name(), c.AVEbsld)
 	}
 }

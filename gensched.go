@@ -7,6 +7,35 @@
 // regression, and (4) uses the best functions (F1–F4) as dynamic
 // scheduling policies that outperform classical and ad-hoc heuristics.
 //
+// # Scenarios, grids and the Runner
+//
+// The paper's contribution is not one simulation but a grid of them —
+// policies × loads × seeds × backfill modes × platforms — so the primary
+// API is declarative. A Scenario describes one experiment; a Grid is the
+// cartesian product of a base scenario and axes; a Runner executes the
+// grid on a bounded worker pool with context cancellation:
+//
+//	sc, _ := gensched.NewScenario(
+//		gensched.WithCores(256),
+//		gensched.WithLublin(15, 1.0), // 15-day sequences, offered load 1.0
+//		gensched.WithSequences(10),
+//	)
+//	g, _ := gensched.NewGrid(sc,
+//		gensched.OverPolicies("FCFS", "SPT", "F1"),
+//		gensched.OverSeeds(1, 2, 3),
+//	)
+//	res, _ := (&gensched.Runner{}).Run(ctx, g)
+//	fmt.Print(res.Format())
+//
+// Execution is deterministic for any worker count: every cell derives
+// its workload seed with SplitSeed from the cell's axis coordinates, and
+// cells that differ only in policy or backfill mode schedule identical
+// job sequences (the paper's paired-comparison design). One-shot helpers
+// (Simulate, LublinTrace) remain as thin conveniences over the same
+// engine.
+//
+// # Subsystems
+//
 // The package is the public facade; the subsystems live in internal/
 // packages and are re-exported here as needed:
 //
@@ -16,6 +45,8 @@
 //     SLURM-style multifactor (internal/sched),
 //   - the Lublin–Feitelson workload model and Tsafrir estimate model
 //     (internal/lublin, internal/tsafrir),
+//   - the deterministic RNG and distribution kernel (internal/dist) and
+//     the shared parallel execution engine (internal/runner),
 //   - SWF trace I/O (internal/workload),
 //   - the trial/score training engine (internal/trainer),
 //   - the 576-function enumeration and Levenberg–Marquardt regression
@@ -24,17 +55,10 @@
 //     (internal/traces), and
 //   - drivers for every table and figure of the paper
 //     (internal/experiments), exercised by bench_test.go and cmd/paperrepro.
-//
-// Quick start:
-//
-//	trace, _ := gensched.LublinTrace(256, 15, 1.0, 42)
-//	res, _ := gensched.Simulate(256, trace.Jobs, gensched.SimOptions{
-//		Policy: gensched.MustPolicy("F1"),
-//	})
-//	fmt.Println(res.AVEbsld)
 package gensched
 
 import (
+	"fmt"
 	"io"
 
 	"github.com/hpcsched/gensched/internal/dist"
@@ -112,6 +136,12 @@ func ParsePolicy(name, src string) (Policy, error) {
 // Simulate schedules jobs on a homogeneous cluster with the given number
 // of cores and returns per-job statistics and aggregate metrics, including
 // the average bounded slowdown (Eq. 2).
+//
+// Deprecated: Simulate is the legacy one-shot path, kept for existing
+// callers and as the golden reference the Runner is tested against. New
+// code should describe the experiment with NewScenario (WithJobs or
+// WithTrace for a fixed workload) and execute it with a Runner, which
+// adds grids, worker pools, cancellation and deterministic seeding.
 func Simulate(cores int, jobs []Job, opt SimOptions) (*SimResult, error) {
 	return sim.Run(sim.Platform{Cores: cores}, jobs, opt)
 }
@@ -121,6 +151,11 @@ func Simulate(cores int, jobs []Job, opt SimOptions) (*SimResult, error) {
 // days. If targetLoad > 0, arrival times are rescaled so the offered load
 // Σ(r·n)/(cores·span) matches it; pass 0 to keep the model's natural load.
 // Estimates are perfect; see ApplyEstimates for the Tsafrir model.
+//
+// Deprecated: LublinTrace is the legacy one-shot path, kept for existing
+// callers. New code should select the model declaratively with
+// WithLublin on a Scenario, which adds load calibration retries, window
+// slicing, Tsafrir estimates and per-cell seed derivation.
 func LublinTrace(cores int, days, targetLoad float64, seed uint64) (*Trace, error) {
 	gen, err := lublin.NewGenerator(lublin.DefaultParams(cores), cores, seed)
 	if err != nil {
@@ -146,15 +181,20 @@ func ReadSWF(r io.Reader) (*Trace, error) { return workload.ParseSWF(r) }
 func WriteSWF(w io.Writer, t *Trace) error { return workload.WriteSWF(w, t) }
 
 // TrainingConfig scales the score-distribution generation pipeline (§3.2).
+// The zero value of every field selects the paper's (reduced-scale)
+// defaults: 8 tuples × 4096 trials with |S|=16, |Q|=32 on 256 cores.
 type TrainingConfig struct {
-	Tuples int // number of (S, Q) tuples (more = smoother distribution)
-	Trials int // permutation trials per tuple (paper: 256k)
-	Seed   uint64
+	Tuples  int // number of (S, Q) tuples (more = smoother distribution)
+	Trials  int // permutation trials per tuple (paper: 256k)
+	Seed    uint64
+	SSize   int // |S|: initial resource-state tasks per tuple (0 = 16)
+	QSize   int // |Q|: measured tasks per tuple (0 = 32)
+	Cores   int // training machine size (0 = 256)
+	Workers int // parallel workers (0 = GOMAXPROCS)
 }
 
-// GenerateScoreDistribution runs the paper's simulation scheme with the
-// default training configuration (|S|=16, |Q|=32, 256 cores) and returns
-// the training samples (r, n, s, score).
+// GenerateScoreDistribution runs the paper's simulation scheme and
+// returns the training samples (r, n, s, score).
 func GenerateScoreDistribution(cfg TrainingConfig) ([]Sample, error) {
 	if cfg.Tuples <= 0 {
 		cfg.Tuples = 8
@@ -162,8 +202,19 @@ func GenerateScoreDistribution(cfg TrainingConfig) ([]Sample, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 4096
 	}
-	return trainer.ScoreDistribution(cfg.Tuples, trainer.DefaultSpec(),
-		trainer.TrialConfig{Trials: cfg.Trials}, cfg.Seed)
+	spec := trainer.DefaultSpec()
+	if cfg.SSize > 0 {
+		spec.SSize = cfg.SSize
+	}
+	if cfg.QSize > 0 {
+		spec.QSize = cfg.QSize
+	}
+	if cfg.Cores > 0 {
+		spec.Cores = cfg.Cores
+		spec.Params = lublin.DefaultParams(cfg.Cores)
+	}
+	return trainer.ScoreDistribution(cfg.Tuples, spec,
+		trainer.TrialConfig{Trials: cfg.Trials, Workers: cfg.Workers}, cfg.Seed)
 }
 
 // FitPolicies fits all 576 candidate nonlinear functions to the samples
@@ -186,7 +237,7 @@ func FitPolicies(samples []Sample, top int) ([]Policy, []FitResult, error) {
 	return policies, best, nil
 }
 
-func policyName(i int) string { return "L" + string(rune('1'+i)) }
+func policyName(i int) string { return fmt.Sprintf("L%d", i+1) }
 
 // SplitSeed derives independent sub-seeds, re-exported for callers that
 // fan simulations out in parallel and want reproducibility.

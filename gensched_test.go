@@ -2,6 +2,7 @@ package gensched
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -160,6 +161,36 @@ func TestSliceWindowsFacade(t *testing.T) {
 				t.Fatalf("rebased submit %v out of range", j.Submit)
 			}
 		}
+	}
+}
+
+func TestPolicyNameBeyondNine(t *testing.T) {
+	// The old rune arithmetic ("L" + rune('1'+i)) produced garbage past
+	// index 8; names must stay readable for any top count.
+	want := []string{"L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12"}
+	for i := 0; i < 12; i++ {
+		if got := policyName(i); got != want[i] {
+			t.Errorf("policyName(%d) = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestFitPoliciesNamesTopTwelve(t *testing.T) {
+	samples, err := GenerateScoreDistribution(TrainingConfig{Tuples: 2, Trials: 256, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies, _, err := FitPolicies(samples, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range policies {
+		if want := fmt.Sprintf("L%d", i+1); p.Name() != want {
+			t.Errorf("policy %d named %q, want %q", i, p.Name(), want)
+		}
+	}
+	if len(policies) < 10 {
+		t.Fatalf("got only %d distinct policies, want at least 10 to cover double-digit names", len(policies))
 	}
 }
 

@@ -1,0 +1,3 @@
+module github.com/hpcsched/gensched
+
+go 1.22

@@ -1,0 +1,247 @@
+package gensched
+
+import (
+	"fmt"
+
+	"github.com/hpcsched/gensched/internal/sched"
+)
+
+// Grid is the cartesian product of a base Scenario and up to five axes:
+// workload sources, offered loads, seeds, backfill modes and policies.
+// Every combination becomes one cell — a fully-resolved Scenario — so
+// "add a new scenario axis" is a one-line edit:
+//
+//	g, err := gensched.NewGrid(base,
+//		gensched.OverPolicies("FCFS", "SPT", "F1"),
+//		gensched.OverLoads(0.8, 1.05),
+//		gensched.OverSeeds(1, 2, 3),
+//	)
+//
+// Axis semantics follow the paper's paired-comparison design: cells that
+// differ only in policy or backfill mode schedule the SAME workload
+// (same source, load and seed), so policy differences are never
+// confounded with workload noise.
+type Grid struct {
+	Base *Scenario
+
+	// The axes; an empty axis means "the base scenario's value".
+	Sources   []WorkloadSource
+	Loads     []float64
+	Seeds     []uint64
+	Backfills []BackfillMode
+	Policies  []Policy
+}
+
+// Axis adds one dimension to a Grid under construction.
+type Axis func(*Grid) error
+
+// NewGrid builds a grid from a base scenario and axes. The base fills
+// every dimension an axis does not override.
+func NewGrid(base *Scenario, axes ...Axis) (*Grid, error) {
+	if base == nil {
+		return nil, fmt.Errorf("gensched: grid needs a base scenario")
+	}
+	g := &Grid{Base: base}
+	for _, ax := range axes {
+		if err := ax(g); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve defaulted axes from the base so expansion is uniform.
+	if len(g.Sources) == 0 {
+		g.Sources = []WorkloadSource{base.Source}
+	}
+	if len(g.Loads) == 0 {
+		g.Loads = []float64{base.Load}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []uint64{base.Seed}
+	}
+	if len(g.Backfills) == 0 {
+		g.Backfills = []BackfillMode{base.Backfill}
+	}
+	if len(g.Policies) == 0 {
+		if base.Policy == nil {
+			return nil, fmt.Errorf("gensched: grid needs a policy: set one on the base scenario or add OverPolicies")
+		}
+		g.Policies = []Policy{base.Policy}
+	}
+	return g, nil
+}
+
+// OverPolicies adds a policy axis by report name. With no names, the
+// paper's eight evaluation policies are used in figure order.
+func OverPolicies(names ...string) Axis {
+	return func(g *Grid) error {
+		if len(names) == 0 {
+			g.Policies = append(g.Policies, sched.Registry()...)
+			return nil
+		}
+		for _, name := range names {
+			p, err := sched.ByName(name)
+			if err != nil {
+				return err
+			}
+			g.Policies = append(g.Policies, p)
+		}
+		return nil
+	}
+}
+
+// OverPolicySet adds policy values directly — learned policies from
+// FitPolicies, parsed ones from ParsePolicy, or any custom Policy.
+func OverPolicySet(ps ...Policy) Axis {
+	return func(g *Grid) error {
+		for _, p := range ps {
+			if p == nil {
+				return fmt.Errorf("gensched: OverPolicySet: nil policy")
+			}
+			g.Policies = append(g.Policies, p)
+		}
+		return nil
+	}
+}
+
+// OverLoads adds an offered-load axis.
+func OverLoads(loads ...float64) Axis {
+	return func(g *Grid) error {
+		for _, l := range loads {
+			if l < 0 {
+				return fmt.Errorf("gensched: OverLoads(%v): need non-negative loads", l)
+			}
+		}
+		g.Loads = append(g.Loads, loads...)
+		return nil
+	}
+}
+
+// OverSeeds adds a seed axis: independent workload draws of otherwise
+// identical scenarios, the way the paper controls variance.
+func OverSeeds(seeds ...uint64) Axis {
+	return func(g *Grid) error {
+		g.Seeds = append(g.Seeds, seeds...)
+		return nil
+	}
+}
+
+// OverBackfills adds a backfill-mode axis.
+func OverBackfills(modes ...BackfillMode) Axis {
+	return func(g *Grid) error {
+		g.Backfills = append(g.Backfills, modes...)
+		return nil
+	}
+}
+
+// OverPlatforms adds a workload-source axis of Table 5 platform
+// stand-ins by name. With no names, all four platforms are used in the
+// paper's order.
+func OverPlatforms(names ...string) Axis {
+	return func(g *Grid) error {
+		if len(names) == 0 {
+			names = PlatformNames()
+		}
+		for _, name := range names {
+			src, err := Platform(name)
+			if err != nil {
+				return err
+			}
+			g.Sources = append(g.Sources, src)
+		}
+		return nil
+	}
+}
+
+// OverSources adds arbitrary workload sources as an axis.
+func OverSources(sources ...WorkloadSource) Axis {
+	return func(g *Grid) error {
+		for _, s := range sources {
+			if s == nil {
+				return fmt.Errorf("gensched: OverSources: nil source")
+			}
+			g.Sources = append(g.Sources, s)
+		}
+		return nil
+	}
+}
+
+// Size returns the number of cells the grid expands to.
+func (g *Grid) Size() int {
+	return len(g.Sources) * len(g.Loads) * len(g.Seeds) * len(g.Backfills) * len(g.Policies)
+}
+
+// cell is one resolved grid point plus its axis coordinates.
+type cell struct {
+	Scenario           Scenario // fully-resolved copy of the base
+	Index              int
+	si, li, ki, bi, pi int // axis coordinates (source, load, seed, backfill, policy)
+}
+
+// workloadKey identifies the workload a cell schedules: cells differing
+// only in backfill mode or policy share it.
+func (c *cell) workloadKey(g *Grid) int {
+	return (c.si*len(g.Loads)+c.li)*len(g.Seeds) + c.ki
+}
+
+// Cells expands the grid in deterministic order: sources outermost, then
+// loads, seeds, backfill modes, and policies innermost. The returned
+// scenarios are fully resolved (every axis value written into the copy).
+func (g *Grid) Cells() []Scenario {
+	cells := g.cells()
+	out := make([]Scenario, len(cells))
+	for i, c := range cells {
+		out[i] = c.Scenario
+	}
+	return out
+}
+
+func (g *Grid) cells() []*cell {
+	out := make([]*cell, 0, g.Size())
+	idx := 0
+	for si, src := range g.Sources {
+		for li, load := range g.Loads {
+			for ki, seed := range g.Seeds {
+				for bi, bf := range g.Backfills {
+					for pi, pol := range g.Policies {
+						sc := *g.Base
+						sc.Source = src
+						sc.Load = load
+						sc.Seed = seed
+						sc.Backfill = bf
+						sc.Policy = pol
+						// A source's intrinsic machine size fills Cores
+						// unless the user set one explicitly (WithCores
+						// after WithTrace/WithPlatform).
+						if src.DefaultCores() > 0 && !sc.coresSet {
+							sc.Cores = src.DefaultCores()
+						}
+						sc.Name = cellName(&sc, g.Base)
+						out = append(out, &cell{
+							Scenario: sc, Index: idx,
+							si: si, li: li, ki: ki, bi: bi, pi: pi,
+						})
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cellName builds a readable identity for one cell. A user-supplied base
+// name (WithName) stays as the leading segment; otherwise the workload
+// source's description leads.
+func cellName(sc *Scenario, base *Scenario) string {
+	head := sc.Source.Describe()
+	if base.nameSet {
+		head = base.Name
+	}
+	name := fmt.Sprintf("%s/%s", head, sc.Policy.Name())
+	if sc.Load > 0 {
+		name += fmt.Sprintf("/load=%.2f", sc.Load)
+	}
+	if sc.Backfill != BackfillNone {
+		name += "/" + sc.Backfill.String()
+	}
+	return fmt.Sprintf("%s/seed=%d", name, sc.Seed)
+}

@@ -6,13 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"github.com/hpcsched/gensched/internal/dist"
 	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/runner"
 	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/sim"
 	"github.com/hpcsched/gensched/internal/stats"
@@ -113,17 +114,14 @@ func (d *DynamicResult) Medians() []float64 {
 var ErrNoWindows = errors.New("experiments: scenario has no sequences")
 
 // RunDynamic executes the dynamic scheduling experiment: every policy
-// schedules every sequence; the (policy, sequence) grid fans out over a
-// worker pool with deterministic assembly.
+// schedules every sequence; the (policy, sequence) grid fans out over the
+// shared runner pool with deterministic assembly.
 func RunDynamic(sc Scenario, policies []sched.Policy, workers int) (*DynamicResult, error) {
 	if len(sc.Windows) == 0 {
 		return nil, ErrNoWindows
 	}
 	if i := emptyWindow(sc.Windows); i >= 0 {
 		return nil, fmt.Errorf("experiments: %s: sequence %d has no jobs", sc.ID, i)
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	res := &DynamicResult{
 		Scenario: sc,
@@ -133,44 +131,23 @@ func RunDynamic(sc Scenario, policies []sched.Policy, workers int) (*DynamicResu
 	for i := range res.PerSeq {
 		res.PerSeq[i] = make([]float64, len(sc.Windows))
 	}
-	type cell struct{ pi, si int }
-	work := make(chan cell)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range work {
-				r, err := sim.Run(sim.Platform{Cores: sc.Cores}, sc.Windows[c.si], sim.Options{
-					Policy:       policies[c.pi],
-					UseEstimates: sc.UseEstimates,
-					Backfill:     sc.Backfill,
-					Tau:          sc.Tau,
-				})
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("experiments: %s/%s seq %d: %w",
-							sc.ID, policies[c.pi].Name(), c.si, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				res.PerSeq[c.pi][c.si] = r.AVEbsld
-			}
-		}()
-	}
-	for pi := range policies {
-		for si := range sc.Windows {
-			work <- cell{pi, si}
+	nSeq := len(sc.Windows)
+	err := runner.Run(context.Background(), workers, len(policies)*nSeq, func(_ context.Context, i int) error {
+		pi, si := i/nSeq, i%nSeq
+		r, err := sim.Run(sim.Platform{Cores: sc.Cores}, sc.Windows[si], sim.Options{
+			Policy:       policies[pi],
+			UseEstimates: sc.UseEstimates,
+			Backfill:     sc.Backfill,
+			Tau:          sc.Tau,
+		})
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s seq %d: %w", sc.ID, policies[pi].Name(), si, err)
 		}
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		res.PerSeq[pi][si] = r.AVEbsld
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Boxes = make([]stats.Boxplot, len(policies))
 	for i, xs := range res.PerSeq {

@@ -1,0 +1,95 @@
+// Package runner is the shared parallel execution engine: a bounded
+// worker pool over an index space with context cancellation and
+// deterministic assembly. Every fan-out in the repository — experiment
+// grids, trial campaigns, the public Runner — delegates here instead of
+// hand-rolling channels, so the concurrency semantics (first-error
+// selection, cancellation, result placement) are identical everywhere.
+//
+// Determinism contract: the engine never makes results depend on worker
+// count or scheduling order. Each index is executed at most once, results
+// land in caller-owned slot i, and when several indices fail the error
+// with the LOWEST index wins, so a failing run reports the same error no
+// matter how the pool interleaved.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes do(ctx, i) for every i in [0, n) on a pool of the given
+// size (0 or negative means GOMAXPROCS). It stops claiming new indices as
+// soon as the context is cancelled or any call fails, waits for in-flight
+// calls, and returns the lowest-index error, or the context error if the
+// context was cancelled first.
+func Run(ctx context.Context, workers, n int, do func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := do(ctx, i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil && firstEr == nil {
+		return err
+	}
+	return firstEr
+}
+
+// Map runs do over [0, n) on the pool and collects the results in index
+// order. On error or cancellation the partial results are discarded.
+func Map[T any](ctx context.Context, workers, n int, do func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := do(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		const n = 1000
+		counts := make([]int32, n)
+		err := Run(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for trial := 0; trial < 20; trial++ {
+		err := Run(context.Background(), 8, 100, func(_ context.Context, i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 60:
+				return errB
+			}
+			return nil
+		})
+		// Index 60 may or may not have been claimed before the stop flag
+		// propagated, but if both fail the lower index must win; index 3
+		// is always claimed before the pool can drain.
+		if err != errA {
+			t.Fatalf("trial %d: err = %v, want errA", trial, err)
+		}
+	}
+}
+
+func TestRunStopsAfterError(t *testing.T) {
+	var ran atomic.Int32
+	_ = Run(context.Background(), 1, 1000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if got := ran.Load(); got != 6 {
+		t.Errorf("sequential pool ran %d tasks after early error, want 6", got)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(ctx, 2, 100000, func(ctx context.Context, i int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if ran.Load() > 1000 {
+		t.Errorf("pool kept claiming after cancel: %d tasks ran", ran.Load())
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := Run(context.Background(), 4, 0, func(context.Context, int) error {
+		t.Fatal("do called for empty index space")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	out, err := Map(context.Background(), 8, 500, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapDropsPartialResultsOnError(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 7 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out = %v, err = %v; want nil, boom", out, err)
+	}
+}

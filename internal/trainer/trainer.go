@@ -12,13 +12,13 @@
 package trainer
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/hpcsched/gensched/internal/lublin"
 	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/runner"
 	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/sim"
 	"github.com/hpcsched/gensched/internal/workload"
@@ -109,44 +109,24 @@ func ScoreTuple(t Tuple, cfg TrialConfig) (*TupleScores, error) {
 	}
 	perTask := (cfg.Trials + q - 1) / q
 	total := perTask * q
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > total {
-		workers = total
-	}
 
 	// aveBsld[k] is AVEbsld of trial k; trial k puts task Q[k%q] first.
 	// Accumulating per-trial then reducing sequentially keeps the result
-	// bit-identical for every worker count.
+	// bit-identical for every worker count. The fan-out goes through the
+	// shared runner pool; the trial runner itself is read-only state, so
+	// one instance serves every worker.
 	aveBsld := make([]float64, total)
-	var wg sync.WaitGroup
-	work := make(chan int)
-	errOnce := sync.Once{}
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			tr := newTrialRunner(t, cfg.Tau)
-			for k := range work {
-				v, err := tr.run(k, q, cfg.Seed)
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					continue
-				}
-				aveBsld[k] = v
-			}
-		}()
-	}
-	for k := 0; k < total; k++ {
-		work <- k
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	tr := newTrialRunner(t, cfg.Tau)
+	err := runner.Run(context.Background(), cfg.Workers, total, func(_ context.Context, k int) error {
+		v, err := tr.run(k, q, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		aveBsld[k] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	sums := make([]float64, q)
@@ -172,13 +152,13 @@ func ScoreTuple(t Tuple, cfg TrialConfig) (*TupleScores, error) {
 	return out, nil
 }
 
-// trialRunner holds the per-worker scratch state for simulating trials.
+// trialRunner holds the shared read-only state for simulating trials; a
+// single instance is safe for concurrent run calls.
 type trialRunner struct {
 	tuple Tuple
 	tau   float64
 	jobs  []workload.Job // S followed by Q, stable job IDs
 	qIDs  map[int]bool
-	perm  []int
 }
 
 func newTrialRunner(t Tuple, tau float64) *trialRunner {
@@ -188,7 +168,6 @@ func newTrialRunner(t Tuple, tau float64) *trialRunner {
 	for _, j := range t.Q {
 		tr.qIDs[j.ID] = true
 	}
-	tr.perm = make([]int, len(t.Q))
 	return tr
 }
 
@@ -198,15 +177,16 @@ func (tr *trialRunner) run(k, q int, seed uint64) (float64, error) {
 	rng := newTrialRNG(seed, uint64(k))
 	first := k % q
 	// perm = [first] ++ shuffle(others).
-	tr.perm[0] = first
+	perm := make([]int, q)
+	perm[0] = first
 	idx := 1
 	for i := 0; i < q; i++ {
 		if i != first {
-			tr.perm[idx] = i
+			perm[idx] = i
 			idx++
 		}
 	}
-	rest := tr.perm[1:]
+	rest := perm[1:]
 	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
 
 	rank := make(map[int]int, len(tr.jobs))
@@ -214,7 +194,7 @@ func (tr *trialRunner) run(k, q int, seed uint64) (float64, error) {
 		rank[j.ID] = i // S keeps arrival order ahead of every Q task
 	}
 	base := len(tr.tuple.S)
-	for pos, qi := range tr.perm {
+	for pos, qi := range perm {
 		rank[tr.tuple.Q[qi].ID] = base + pos
 	}
 	res, err := sim.Run(sim.Platform{Cores: tr.tuple.Cores}, tr.jobs, sim.Options{

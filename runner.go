@@ -1,0 +1,302 @@
+package gensched
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/runner"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/stats"
+)
+
+// Runner executes experiment grids on a bounded worker pool. The zero
+// value is ready to use: GOMAXPROCS workers, no streaming.
+//
+// Execution is deterministic by construction: every grid cell derives
+// its workload seed from the cell's axis coordinates with SplitSeed, each
+// (cell, sequence) simulation is self-contained, and results land in
+// pre-assigned slots — so results are bit-identical for any Workers
+// value, and a cancelled run can be re-run and produce the same numbers.
+type Runner struct {
+	// Workers bounds the pool; 0 means GOMAXPROCS.
+	Workers int
+	// OnResult, when set, streams each cell's result as it completes.
+	// Calls are serialized but arrive in completion order, which depends
+	// on scheduling; the returned GridResult is always in cell order.
+	OnResult func(*CellResult)
+	// KeepSims retains the full per-sequence simulation results
+	// (per-job statistics, utilization, backfill counts) on every cell.
+	// Off by default: a large grid's job-level statistics can dwarf the
+	// aggregates.
+	KeepSims bool
+}
+
+// CellResult is the outcome of one grid cell: per-sequence average
+// bounded slowdowns plus aggregates.
+type CellResult struct {
+	// Index is the cell's position in the grid's deterministic expansion.
+	Index int
+	// Scenario is the fully-resolved cell.
+	Scenario Scenario
+	// Workload names the scheduled workload; Cores is the machine size
+	// the cell actually ran on (sources may override the scenario's).
+	Workload string
+	Cores    int
+	// WorkloadSeed is the SplitSeed-derived seed the workload was built
+	// from; cells differing only in policy or backfill share it.
+	WorkloadSeed uint64
+	// PerSeq holds the average bounded slowdown (Eq. 2) of every
+	// sequence; AVEbsld is their mean.
+	PerSeq  []float64
+	AVEbsld float64
+	// Sims holds the full simulation result of every sequence when the
+	// Runner's KeepSims is set; nil otherwise.
+	Sims []*SimResult
+}
+
+// Median returns the per-sequence median AVEbsld — the aggregation the
+// paper's Table 4 reports.
+func (c *CellResult) Median() float64 { return stats.Median(c.PerSeq) }
+
+// Quantile returns the q-quantile (0..1) of the per-sequence AVEbsld
+// values, e.g. Quantile(0.75)-Quantile(0.25) for the IQR spread the
+// paper's boxplots show.
+func (c *CellResult) Quantile(q float64) float64 { return stats.Quantile(c.PerSeq, q) }
+
+// GridResult collects every cell of a grid run, in cell order.
+type GridResult struct {
+	Cells []*CellResult
+}
+
+// Format renders the results as a table, one cell per row.
+func (r *GridResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-48s %10s %10s\n", "cell", "AVEbsld", "median")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%-48s %10.2f %10.2f\n", c.Scenario.Name, c.AVEbsld, c.Median())
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the per-sequence AVEbsld matrix: one row per cell
+// (labeled by policy name), one column per sequence — the raw series
+// behind one boxplot figure panel. The header spans the longest cell;
+// cells with fewer sequences leave trailing columns empty.
+func (r *GridResult) WriteCSV(w io.Writer) error {
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("gensched: no cells to write")
+	}
+	maxSeq := 0
+	for _, c := range r.Cells {
+		if len(c.PerSeq) > maxSeq {
+			maxSeq = len(c.PerSeq)
+		}
+	}
+	if _, err := fmt.Fprint(w, "policy"); err != nil {
+		return err
+	}
+	for si := 0; si < maxSeq; si++ {
+		if _, err := fmt.Fprintf(w, ",seq%d", si+1); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprint(w, c.Scenario.Policy.Name()); err != nil {
+			return err
+		}
+		for _, v := range c.PerSeq {
+			if _, err := fmt.Fprintf(w, ",%g", v); err != nil {
+				return err
+			}
+		}
+		for si := len(c.PerSeq); si < maxSeq; si++ {
+			if _, err := fmt.Fprint(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ArtifactReport renders the grid in the format of the paper artifact's
+// sched-performance-tester output: medians, means and standard
+// deviations per cell, plus ASCII boxplots of the per-sequence values.
+// Rows are labeled by policy name, so it reads best on grids whose only
+// axis is the policy (the artifact's own shape).
+func (r *GridResult) ArtifactReport() string {
+	var sb strings.Builder
+	first := r.Cells[0]
+	fmt.Fprintf(&sb, "Performing scheduling performance test for the workload %s.\n", first.Workload)
+	est := "actual runtimes"
+	if first.Scenario.UseEstimates {
+		est = "runtime estimates"
+	}
+	fmt.Fprintf(&sb, "Configuration:\nUsing %s, backfilling %s\n", est, first.Scenario.Backfill)
+	sb.WriteString("Experiment Statistics:\n")
+	labels := make([]string, len(r.Cells))
+	for i, c := range r.Cells {
+		labels[i] = c.Scenario.Policy.Name()
+	}
+	line := func(label string, f func([]float64) float64) {
+		fmt.Fprintf(&sb, "%s:\n", label)
+		for i, c := range r.Cells {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%s=%.2f", labels[i], f(c.PerSeq))
+		}
+		sb.WriteString("\n")
+	}
+	line("Medians", stats.Median)
+	line("Means", stats.Mean)
+	line("Standard Deviations", stats.StdDev)
+	boxes := make([]stats.Boxplot, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		b, err := stats.NewBoxplot(c.PerSeq)
+		if err != nil {
+			return sb.String() // single-sequence cells have no boxplot
+		}
+		boxes = append(boxes, b)
+	}
+	sb.WriteString(stats.RenderBoxplots(labels, boxes, 60))
+	return sb.String()
+}
+
+// Run expands the grid and executes every cell on the pool. Workloads
+// shared by several cells (same source, load and seed) are built once
+// and reused. The context cancels the run between simulations; on
+// cancellation or the first error the partial results are discarded and
+// the lowest-index error is returned.
+func (r *Runner) Run(ctx context.Context, g *Grid) (*GridResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cells := g.cells()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("gensched: empty grid")
+	}
+
+	// Phase 1: build each distinct workload once, in parallel. The
+	// workload seed depends only on the (source, load, seed) coordinates,
+	// never on policy or backfill, so paired cells schedule identical
+	// job sequences.
+	nWorkloads := len(g.Sources) * len(g.Loads) * len(g.Seeds)
+	firstCell := make([]*cell, nWorkloads) // one representative per key
+	for _, c := range cells {
+		if k := c.workloadKey(g); firstCell[k] == nil {
+			firstCell[k] = c
+		}
+	}
+	workloads, err := runner.Map(ctx, r.Workers, nWorkloads, func(_ context.Context, k int) (*Workload, error) {
+		c := firstCell[k]
+		sc := &c.Scenario
+		wseed := workloadSeed(sc.Seed, c.si, c.li)
+		w, err := sc.Source.Build(WorkloadRequest{
+			Cores:     sc.Cores,
+			Days:      sc.Days,
+			Sequences: sc.Sequences,
+			Load:      sc.Load,
+			Seed:      wseed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gensched: workload for %s: %w", sc.Name, err)
+		}
+		if len(w.Windows) == 0 {
+			return nil, fmt.Errorf("gensched: workload for %s has no sequences", sc.Name)
+		}
+		return w, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: flatten (cell, sequence) into independent simulations so
+	// the pool stays busy even when one cell has many sequences.
+	results := make([]*CellResult, len(cells))
+	pending := make([]atomic.Int32, len(cells))
+	type task struct{ ci, seq int }
+	var tasks []task
+	for i, c := range cells {
+		w := workloads[c.workloadKey(g)]
+		results[i] = &CellResult{
+			Index:        c.Index,
+			Scenario:     c.Scenario,
+			Workload:     w.Name,
+			Cores:        w.Cores,
+			WorkloadSeed: workloadSeed(c.Scenario.Seed, c.si, c.li),
+			PerSeq:       make([]float64, len(w.Windows)),
+		}
+		if r.KeepSims {
+			results[i].Sims = make([]*SimResult, len(w.Windows))
+		}
+		pending[i].Store(int32(len(w.Windows)))
+		for seq := range w.Windows {
+			tasks = append(tasks, task{ci: i, seq: seq})
+		}
+	}
+	var streamMu sync.Mutex
+	err = runner.Run(ctx, r.Workers, len(tasks), func(_ context.Context, ti int) error {
+		t := tasks[ti]
+		c := cells[t.ci]
+		w := workloads[c.workloadKey(g)]
+		sc := &c.Scenario
+		res, err := sim.Run(sim.Platform{Cores: w.Cores}, w.Windows[t.seq], sim.Options{
+			Policy:         sc.Policy,
+			UseEstimates:   sc.UseEstimates,
+			Backfill:       sc.Backfill,
+			Tau:            sc.Tau,
+			KillAtEstimate: sc.KillAtEstimate,
+		})
+		if err != nil {
+			return fmt.Errorf("gensched: %s seq %d: %w", sc.Name, t.seq, err)
+		}
+		cr := results[t.ci]
+		cr.PerSeq[t.seq] = res.AVEbsld
+		if r.KeepSims {
+			cr.Sims[t.seq] = res
+		}
+		if pending[t.ci].Add(-1) == 0 {
+			cr.AVEbsld = mean(cr.PerSeq)
+			if r.OnResult != nil {
+				streamMu.Lock()
+				r.OnResult(cr)
+				streamMu.Unlock()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GridResult{Cells: results}, nil
+}
+
+// workloadSeed derives the seed a cell's workload is generated from: the
+// seed-axis value split by the source and load coordinates. Policy and
+// backfill coordinates deliberately do not enter.
+func workloadSeed(seed uint64, sourceIdx, loadIdx int) uint64 {
+	return dist.Split(dist.Split(seed, uint64(sourceIdx)), uint64(loadIdx))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

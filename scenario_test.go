@@ -1,0 +1,181 @@
+package gensched
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewScenarioDefaults(t *testing.T) {
+	sc, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cores != 256 || sc.Sequences != 1 || sc.Days != 1 {
+		t.Errorf("defaults = cores %d, sequences %d, days %v", sc.Cores, sc.Sequences, sc.Days)
+	}
+	if sc.Source == nil || sc.Source.Describe() != "lublin" {
+		t.Error("default source is not the Lublin model")
+	}
+}
+
+func TestNewScenarioOptions(t *testing.T) {
+	sc, err := NewScenario(
+		WithCores(512),
+		WithLublin(2, 1.05),
+		WithPolicy("F1"),
+		WithEASY(),
+		WithEstimates(),
+		WithSequences(3),
+		WithSeed(99),
+		WithTau(20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cores != 512 || sc.Days != 2 || sc.Load != 1.05 || sc.Sequences != 3 {
+		t.Errorf("scenario = %+v", sc)
+	}
+	if sc.Policy.Name() != "F1" || sc.Backfill != BackfillEASY || !sc.UseEstimates {
+		t.Error("conditions not applied")
+	}
+	if sc.Seed != 99 || sc.Tau != 20 {
+		t.Error("seed or tau not applied")
+	}
+}
+
+func TestNewScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"bad cores", []Option{WithCores(0)}},
+		{"bad policy", []Option{WithPolicy("NOPE")}},
+		{"bad platform", []Option{WithPlatform("nope")}},
+		{"bad days", []Option{WithLublin(0, 1)}},
+		{"bad windows", []Option{WithWindows(1, 0)}},
+		{"bad tau", []Option{WithTau(-1)}},
+		{"bad load", []Option{WithLoad(-0.5)}},
+		{"nil custom policy", []Option{WithCustomPolicy(nil)}},
+		{"empty trace", []Option{WithTrace(&Trace{})}},
+		{"no jobs", []Option{WithJobs("x", 4, nil)}},
+	}
+	for _, c := range cases {
+		if _, err := NewScenario(c.opts...); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWithPlatformFixesCores(t *testing.T) {
+	sc, err := NewScenario(WithPlatform("ctc-sp2"), WithPolicy("FCFS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Source.DefaultCores() != 338 {
+		t.Errorf("CTC SP2 cores = %d, want 338", sc.Source.DefaultCores())
+	}
+	for _, name := range PlatformNames() {
+		if _, err := Platform(name); err != nil {
+			t.Errorf("Platform(%q): %v", name, err)
+		}
+	}
+	// Aliases and case-insensitivity.
+	for _, name := range []string{"SDSC", "Curie", "CTC"} {
+		if _, err := Platform(name); err != nil {
+			t.Errorf("Platform(%q): %v", name, err)
+		}
+	}
+}
+
+func TestFixedTraceAsIs(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 0, Runtime: 100, Estimate: 100, Cores: 2},
+		{ID: 2, Submit: 10, Runtime: 50, Estimate: 50, Cores: 4},
+	}
+	sc, err := NewScenario(WithJobs("tiny", 4, jobs), WithPolicy("FCFS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sc.Source.Build(WorkloadRequest{Sequences: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Windows) != 1 || len(w.Windows[0]) != 2 {
+		t.Fatalf("windows = %v", w.Windows)
+	}
+	if w.Cores != 4 {
+		t.Errorf("cores = %d, want 4 (from the trace)", w.Cores)
+	}
+	// Jobs must be passed through untouched (no rebasing).
+	if w.Windows[0][0] != jobs[0] || w.Windows[0][1] != jobs[1] {
+		t.Error("fixed jobs were modified")
+	}
+}
+
+func TestWithCoresOverridesIntrinsicSize(t *testing.T) {
+	jobs := []Job{{ID: 1, Submit: 0, Runtime: 10, Estimate: 10, Cores: 1}}
+	// WithCores after WithJobs must win over the trace's own size.
+	sc, err := NewScenario(WithJobs("tiny", 4, jobs), WithCores(512), WithPolicy("FCFS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 512 {
+		t.Errorf("explicit WithCores ignored: ran on %d cores, want 512", res.Cores)
+	}
+	// Without WithCores the trace's size wins.
+	sc2, err := NewScenario(WithJobs("tiny", 4, jobs), WithPolicy("FCFS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sc2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cores != 4 {
+		t.Errorf("intrinsic size not applied: ran on %d cores, want 4", res2.Cores)
+	}
+}
+
+func TestWithNameSurvivesGridExpansion(t *testing.T) {
+	jobs := []Job{{ID: 1, Submit: 0, Runtime: 10, Estimate: 10, Cores: 1}}
+	sc, err := NewScenario(WithJobs("tiny", 4, jobs), WithName("fig4a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(sc, OverPolicies("FCFS", "F1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Cells() {
+		if !strings.HasPrefix(c.Name, "fig4a/") {
+			t.Errorf("cell name %q lost the WithName label", c.Name)
+		}
+	}
+}
+
+func TestScenarioRunSingleCell(t *testing.T) {
+	sc, err := NewScenario(
+		WithCores(64),
+		WithLublin(0.25, 1.0),
+		WithPolicy("FCFS"),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSeq) != 1 || res.AVEbsld < 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Cores != 64 {
+		t.Errorf("cores = %d", res.Cores)
+	}
+}
