@@ -564,6 +564,34 @@ func BenchmarkMicroSimulatorEASY(b *testing.B) {
 	b.ReportMetric(float64(len(jobs)), "jobs/op")
 }
 
+func BenchmarkMicroSimulatorConservative(b *testing.B) {
+	jobs := microJobs(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Platform{Cores: 256}, jobs, sim.Options{
+			Policy: sched.F1(), Backfill: sim.BackfillConservative, UseEstimates: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs/op")
+}
+
+// BenchmarkMicroSimulatorEASYChecked measures the overhead of runtime
+// invariant checking (Options.Check) on the EASY hot path.
+func BenchmarkMicroSimulatorEASYChecked(b *testing.B) {
+	jobs := microJobs(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Platform{Cores: 256}, jobs, sim.Options{
+			Policy: sched.F1(), Backfill: sim.BackfillEASY, UseEstimates: true, Check: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs/op")
+}
+
 func BenchmarkMicroPolicyScore(b *testing.B) {
 	policies := sched.Registry()
 	view := sched.JobView{Runtime: 3600, Cores: 16, Submit: 7200, Wait: 600}

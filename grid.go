@@ -66,7 +66,26 @@ func NewGrid(base *Scenario, axes ...Axis) (*Grid, error) {
 		}
 		g.Policies = []Policy{base.Policy}
 	}
+	// Reject fixed workloads with jobs larger than the machine a cell
+	// will run them on, mirroring NewScenario's build-time validation for
+	// sources attached through OverSources.
+	for _, src := range g.Sources {
+		if err := validateSourceJobs(src, cellCores(base, src), src.Describe()); err != nil {
+			return nil, err
+		}
+	}
 	return g, nil
+}
+
+// cellCores resolves the machine size a cell scheduling src runs on: a
+// source's intrinsic size fills the field unless the user set one
+// explicitly (WithCores after WithTrace/WithPlatform). NewGrid validation
+// and cell expansion share this so they can never disagree.
+func cellCores(base *Scenario, src WorkloadSource) int {
+	if src.DefaultCores() > 0 && !base.coresSet {
+		return src.DefaultCores()
+	}
+	return base.Cores
 }
 
 // OverPolicies adds a policy axis by report name. With no names, the
@@ -208,12 +227,7 @@ func (g *Grid) cells() []*cell {
 						sc.Seed = seed
 						sc.Backfill = bf
 						sc.Policy = pol
-						// A source's intrinsic machine size fills Cores
-						// unless the user set one explicitly (WithCores
-						// after WithTrace/WithPlatform).
-						if src.DefaultCores() > 0 && !sc.coresSet {
-							sc.Cores = src.DefaultCores()
-						}
+						sc.Cores = cellCores(g.Base, src)
 						sc.Name = cellName(&sc, g.Base)
 						out = append(out, &cell{
 							Scenario: sc, Index: idx,

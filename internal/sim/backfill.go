@@ -12,8 +12,7 @@ const timeEps = 1e-9
 // its start plus the perceived runtime, clamped to now (a task that outran
 // its estimate is believed to end imminently, the standard EASY treatment).
 func (e *engine) perceivedFinish(ti int) float64 {
-	t := &e.tasks[ti]
-	pf := t.start + t.perceived
+	pf := e.rawPF(ti)
 	if pf < e.now {
 		pf = e.now
 	}
@@ -25,26 +24,28 @@ func (e *engine) perceivedFinish(ti int) float64 {
 // the number of extra cores (free at the shadow time beyond what the head
 // needs). Backfill candidates must either finish by the shadow time or fit
 // within the extra cores.
+//
+// The running set is kept sorted by perceived finish (see engine.running),
+// so the scan needs no sort and no scratch slice: it walks releases in
+// order, accumulating freed cores until the head fits.
 func (e *engine) headReservation() (shadow float64, extra int) {
-	head := &e.tasks[e.queue[0]]
-	type rel struct {
-		at    float64
-		cores int
-	}
-	rels := make([]rel, 0, len(e.running))
-	for _, ri := range e.running {
-		rels = append(rels, rel{at: e.perceivedFinish(ri), cores: e.tasks[ri].job.Cores})
-	}
-	sort.Slice(rels, func(i, j int) bool { return rels[i].at < rels[j].at })
+	need := e.tasks[e.queue[0]].job.Cores
 	free := e.free
-	for _, r := range rels {
-		free += r.cores
-		if free >= head.job.Cores {
-			return r.at, free - head.job.Cores
+	for _, ri := range e.running {
+		free += e.tasks[ri].job.Cores
+		if free >= need {
+			return e.perceivedFinish(ri), free - need
 		}
 	}
-	// Unreachable when job sizes are validated against the platform, but
-	// degrade gracefully: no extra cores, head never starts.
+	// Unreachable for validated inputs: Run rejects jobs larger than the
+	// platform (and Scenario construction rejects them earlier still), so
+	// the full machine always satisfies the head. Degrade gracefully
+	// regardless — no extra cores, the head never starts — and record the
+	// violation when invariant checking is on.
+	if e.opt.Check {
+		e.failf("EASY head job %d requires %d cores but the whole platform frees only %d",
+			e.tasks[e.queue[0]].job.ID, need, free)
+	}
 	return math.Inf(1), 0
 }
 
@@ -55,45 +56,97 @@ func (e *engine) headReservation() (shadow float64, extra int) {
 // style variants). After each start the reservation is recomputed against
 // the enlarged running set, which keeps the no-delay guarantee exact with
 // respect to perceived runtimes.
+//
+// Started candidates are tombstoned in place (task.started) and the queue
+// is compacted once at the end of the pass, replacing the former O(n)
+// splice per start with one O(n) sweep per pass.
 func (e *engine) easyBackfill() {
-	for e.free > 0 && len(e.queue) > 1 {
+	nStarted := 0
+	for e.free > 0 && len(e.queue)-nStarted > 1 {
 		shadow, extra := e.headReservation()
-		order := e.backfillOrder()
 		started := false
-		for _, i := range order {
-			ti := e.queue[i]
-			t := &e.tasks[ti]
-			if t.job.Cores > e.free {
-				continue
+		if e.opt.BackfillOrder == nil {
+			// Queue priority order: classic EASY. Scan positions directly,
+			// skipping tasks already started this pass.
+			for i := 1; i < len(e.queue); i++ {
+				ti := e.queue[i]
+				if e.tasks[ti].started {
+					continue
+				}
+				if e.tryBackfill(ti, shadow, extra) {
+					started = true
+					break
+				}
 			}
-			finishesBeforeShadow := e.now+t.perceived <= shadow+timeEps
-			fitsExtra := t.job.Cores <= extra
-			if finishesBeforeShadow || fitsExtra {
-				e.startTask(ti, true)
-				e.queue = append(e.queue[:i], e.queue[i+1:]...)
-				started = true
-				break
+		} else {
+			for _, i := range e.backfillOrder() {
+				if e.tryBackfill(e.queue[i], shadow, extra) {
+					started = true
+					break
+				}
 			}
 		}
 		if !started {
-			return
+			break
 		}
+		nStarted++
+		if e.opt.Check {
+			e.checkHeadNotDelayed(shadow)
+		}
+	}
+	if nStarted > 0 {
+		e.compactQueue()
 	}
 }
 
-// backfillOrder returns the queue indices (excluding the head) in the
-// order backfill candidates should be considered.
+// tryBackfill starts candidate task ti if it fits now and cannot delay
+// the head: it must finish by the shadow time or fit within the extra
+// cores. Both easyBackfill candidate orders share this acceptance test so
+// the safety condition cannot drift between them.
+func (e *engine) tryBackfill(ti int, shadow float64, extra int) bool {
+	t := &e.tasks[ti]
+	if t.job.Cores > e.free {
+		return false
+	}
+	if e.now+t.perceived <= shadow+timeEps || t.job.Cores <= extra {
+		e.startTask(ti, true)
+		return true
+	}
+	return false
+}
+
+// compactQueue removes tombstoned (started) entries from the waiting
+// queue in one pass, preserving the order of the remainder.
+func (e *engine) compactQueue() {
+	w := 0
+	for _, ti := range e.queue {
+		if !e.tasks[ti].started {
+			e.queue[w] = ti
+			w++
+		}
+	}
+	e.queue = e.queue[:w]
+}
+
+// backfillOrder returns the queue indices (excluding the head and any
+// tombstoned entries) in the order backfill candidates should be
+// considered under opt.BackfillOrder. The index and key slices are engine
+// scratch, reused across passes.
 func (e *engine) backfillOrder() []int {
-	n := len(e.queue) - 1
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i + 1
+	order := e.orderBuf[:0]
+	for i := 1; i < len(e.queue); i++ {
+		if !e.tasks[e.queue[i]].started {
+			order = append(order, i)
+		}
 	}
+	e.orderBuf = order
+	keys := e.keysBuf
+	if cap(keys) < len(e.queue) {
+		keys = make([]float64, len(e.queue))
+	}
+	keys = keys[:len(e.queue)]
+	e.keysBuf = keys
 	p := e.opt.BackfillOrder
-	if p == nil {
-		return order // queue priority order: classic EASY
-	}
-	keys := make([]float64, len(e.queue))
 	for _, i := range order {
 		keys[i] = p.Score(e.view(e.queue[i]))
 	}
@@ -119,27 +172,24 @@ type profile struct {
 	avail []int
 }
 
-// buildProfile seeds the availability profile from the running set.
+// buildProfile seeds the engine's scratch availability profile from the
+// running set. The running set is already in perceived-finish order, so
+// releases append in one sorted pass with no scratch slice and no sort.
 func (e *engine) buildProfile() *profile {
-	p := &profile{times: []float64{e.now}, avail: []int{e.free}}
-	type rel struct {
-		at    float64
-		cores int
-	}
-	rels := make([]rel, 0, len(e.running))
+	p := &e.prof
+	p.times = append(p.times[:0], e.now)
+	p.avail = append(p.avail[:0], e.free)
 	for _, ri := range e.running {
-		rels = append(rels, rel{at: e.perceivedFinish(ri), cores: e.tasks[ri].job.Cores})
-	}
-	sort.Slice(rels, func(i, j int) bool { return rels[i].at < rels[j].at })
-	for _, r := range rels {
+		at := e.perceivedFinish(ri)
+		cores := e.tasks[ri].job.Cores
 		last := len(p.times) - 1
-		if r.at <= p.times[last]+timeEps {
+		if at <= p.times[last]+timeEps {
 			// Coalesce releases at (numerically) the same instant.
-			p.avail[last] += r.cores
+			p.avail[last] += cores
 			continue
 		}
-		p.times = append(p.times, r.at)
-		p.avail = append(p.avail, p.avail[last]+r.cores)
+		p.times = append(p.times, at)
+		p.avail = append(p.avail, p.avail[last]+cores)
 	}
 	return p
 }
@@ -212,19 +262,25 @@ func (p *profile) reserve(t, duration float64, cores int) {
 
 // conservativeBackfill gives every queued task a reservation in priority
 // order; a task starts now only when its reservation is immediate, which
-// guarantees no task before it in the queue is delayed.
+// guarantees no task before it in the queue is delayed. The availability
+// profile lives on the engine and is rebuilt in place each pass; started
+// tasks are tombstoned and compacted once at the end, like easyBackfill.
 func (e *engine) conservativeBackfill() {
 	p := e.buildProfile()
-	for i := 0; i < len(e.queue); {
-		ti := e.queue[i]
+	nStarted := 0
+	for _, ti := range e.queue {
 		t := &e.tasks[ti]
 		st := p.earliestStart(t.job.Cores, t.perceived)
 		p.reserve(st, t.perceived, t.job.Cores)
 		if st <= e.now+timeEps && t.job.Cores <= e.free {
 			e.startTask(ti, true)
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			continue
+			nStarted++
 		}
-		i++
+	}
+	if e.opt.Check {
+		e.checkProfile(p)
+	}
+	if nStarted > 0 {
+		e.compactQueue()
 	}
 }

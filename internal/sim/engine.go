@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -38,22 +37,62 @@ type event struct {
 	seq  int // tie-break for determinism
 }
 
+// less is the deterministic event order: time, then kind (completions
+// before arrivals), then insertion sequence.
+func (a event) less(b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap of events. It is hand-rolled rather than
+// built on container/heap because the interface-based API boxes every
+// pushed and popped event into an `any`, which costs two heap allocations
+// per simulated completion — the single largest allocation source in the
+// event loop.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)       { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any         { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 func (h eventHeap) peekTime() float64 { return h[0].time }
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h[right].less(h[left]) {
+			least = right
+		}
+		if !h[least].less(h[i]) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
 
 type engine struct {
 	cores int
@@ -65,9 +104,14 @@ type engine struct {
 	withID      sched.PolicyWithID // non-nil if policy scores by job ID
 	timeVarying bool
 
-	tasks   []task
-	queue   []int // waiting task indices; kept score-sorted for static policies
-	running []int // running task indices
+	tasks []task
+	queue []int // waiting task indices; kept score-sorted for static policies
+	// running holds the running task indices sorted by ascending
+	// (start+perceived, job ID): the perceived-finish order every backfill
+	// reservation scans. The order is maintained incrementally (binary
+	// insert on start, binary remove on completion) so no scheduling pass
+	// ever sorts the running set.
+	running []int
 	events  eventHeap
 	seq     int
 	now     float64
@@ -75,6 +119,17 @@ type engine struct {
 	maxQueueLen int
 	backfilled  int
 	timeline    []TimelinePoint
+
+	// Scratch buffers reused across scheduling passes so the hot paths
+	// (EASY candidate ordering, the conservative availability profile)
+	// allocate only on high-water-mark growth.
+	orderBuf []int
+	keysBuf  []float64
+	prof     profile
+
+	// checkErr records the first invariant violation when Options.Check
+	// is set; nil otherwise. See check.go.
+	checkErr error
 }
 
 func newEngine(p Platform, jobs []workload.Job, opt Options) *engine {
@@ -94,6 +149,7 @@ func newEngine(p Platform, jobs []workload.Job, opt Options) *engine {
 		e.withID = w
 	}
 	e.tasks = make([]task, len(jobs))
+	e.events = make(eventHeap, 0, 2*len(jobs))
 	for i, j := range jobs {
 		perceived := j.Runtime
 		if opt.UseEstimates && j.Estimate > 0 {
@@ -104,22 +160,28 @@ func newEngine(p Platform, jobs []workload.Job, opt Options) *engine {
 			execution = j.Estimate
 		}
 		e.tasks[i] = task{job: j, perceived: perceived, execution: execution}
-		e.push(event{time: j.Submit, kind: evArrival, task: i})
+		e.events = append(e.events, event{time: j.Submit, kind: evArrival, task: i, seq: e.seq})
+		e.seq++
 	}
-	heap.Init(&e.events)
+	e.events.init()
 	return e
-}
-
-func (e *engine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	e.events = append(e.events, ev)
 }
 
 func (e *engine) pushHeap(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events = append(e.events, ev)
+	e.events.siftUp(len(e.events) - 1)
+}
+
+func (e *engine) popHeap() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.events = h[:n]
+	e.events.siftDown(0)
+	return top
 }
 
 // view builds the policy's JobView of a task at the current time.
@@ -197,7 +259,43 @@ func (e *engine) resortQueue() {
 	sort.SliceStable(e.queue, func(i, j int) bool { return e.queueLess(e.queue[i], e.queue[j]) })
 }
 
-// startTask launches a waiting task now.
+// rawPF is a task's unclamped perceived finish time, the running-set sort
+// key. It is fixed at start time (start and perceived never change), so
+// the incremental order in e.running stays valid as the clock advances.
+func (e *engine) rawPF(ti int) float64 {
+	t := &e.tasks[ti]
+	return t.start + t.perceived
+}
+
+// runningLess is the running-set order: ascending unclamped perceived
+// finish, ties by job ID. Clamping to `now` (perceivedFinish) preserves
+// this order, so scans over e.running see nondecreasing release times.
+func (e *engine) runningLess(a, b int) bool {
+	pa, pb := e.rawPF(a), e.rawPF(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return e.tasks[a].job.ID < e.tasks[b].job.ID
+}
+
+// runningRank binary-searches the sorted running set for the first
+// position not ordered before task ti — its insertion point on start and
+// the head of its equal-key run on completion.
+func (e *engine) runningRank(ti int) int {
+	lo, hi := 0, len(e.running)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.runningLess(e.running[mid], ti) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// startTask launches a waiting task now, inserting it into the running
+// set at its perceived-finish position.
 func (e *engine) startTask(ti int, backfillStart bool) {
 	t := &e.tasks[ti]
 	t.started = true
@@ -205,24 +303,35 @@ func (e *engine) startTask(ti int, backfillStart bool) {
 	t.start = e.now
 	t.finish = e.now + t.execution
 	e.free -= t.job.Cores
-	e.running = append(e.running, ti)
+	lo := e.runningRank(ti)
+	e.running = append(e.running, 0)
+	copy(e.running[lo+1:], e.running[lo:])
+	e.running[lo] = ti
 	e.pushHeap(event{time: t.finish, kind: evCompletion, task: ti})
 	if backfillStart {
 		e.backfilled++
 	}
+	if e.opt.Check {
+		e.checkStart(ti)
+	}
 }
 
-// completeTask retires a finished task.
+// completeTask retires a finished task, removing it from the sorted
+// running set by binary search.
 func (e *engine) completeTask(ti int) {
 	t := &e.tasks[ti]
 	t.done = true
 	e.free += t.job.Cores
-	for i, ri := range e.running {
-		if ri == ti {
-			e.running[i] = e.running[len(e.running)-1]
+	for i := e.runningRank(ti); i < len(e.running); i++ {
+		if e.running[i] == ti {
+			copy(e.running[i:], e.running[i+1:])
 			e.running = e.running[:len(e.running)-1]
 			break
 		}
+	}
+	if e.opt.Check && e.free > e.cores {
+		e.failf("completion of job %d released more cores than the platform has (%d free of %d)",
+			t.job.ID, e.free, e.cores)
 	}
 }
 
@@ -230,11 +339,11 @@ func (e *engine) completeTask(ti int) {
 // one scheduling pass (the paper's rescheduling events are exactly task
 // arrivals and resource releases).
 func (e *engine) run() {
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		now := e.events.peekTime()
 		e.now = now
-		for e.events.Len() > 0 && e.events.peekTime() == now {
-			ev := heap.Pop(&e.events).(event)
+		for len(e.events) > 0 && e.events.peekTime() == now {
+			ev := e.popHeap()
 			switch ev.kind {
 			case evArrival:
 				e.enqueue(ev.task)
@@ -263,6 +372,9 @@ func (e *engine) schedulePass() {
 	}
 	if e.timeVarying {
 		e.resortQueue()
+	}
+	if e.opt.Check {
+		e.checkQueueOrder()
 	}
 	// Start from the head while it fits.
 	for len(e.queue) > 0 && e.tasks[e.queue[0]].job.Cores <= e.free {

@@ -1,0 +1,84 @@
+package sim_test
+
+// Golden regression fixtures: a fixed-seed Lublin workload with Tsafrir
+// estimates, scheduled under F1 in all three backfill modes, pinned to
+// exact Result metrics. Every comparison is == on float64, locking
+// bit-level determinism of the engine across refactors: a change that
+// reorders any tie-break, alters any floating-point expression, or
+// perturbs the event loop shows up here immediately.
+//
+// If a semantics change is ever *intended*, regenerate the table by
+// printing the six fields (%v roundtrips float64 exactly) and justify the
+// diff in the PR — do not loosen the comparisons.
+
+import (
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/tsafrir"
+)
+
+type goldenRow struct {
+	AVEbsld     float64
+	MeanWait    float64
+	Makespan    float64
+	Utilization float64
+	Backfilled  int
+	MaxQueueLen int
+}
+
+var goldenRows = map[sim.BackfillMode]goldenRow{
+	sim.BackfillNone: {
+		AVEbsld: 363.37993053356104, MeanWait: 11857.416666666666,
+		Makespan: 244097, Utilization: 0.46958118852341485,
+		Backfilled: 0, MaxQueueLen: 71,
+	},
+	sim.BackfillEASY: {
+		AVEbsld: 68.12883155944762, MeanWait: 4844.17,
+		Makespan: 244097, Utilization: 0.46958118852341485,
+		Backfilled: 192, MaxQueueLen: 50,
+	},
+	sim.BackfillConservative: {
+		AVEbsld: 60.779475606577385, MeanWait: 4727.843333333333,
+		Makespan: 244097, Utilization: 0.46958118852341485,
+		Backfilled: 192, MaxQueueLen: 50,
+	},
+}
+
+// TestGoldenLublinFixture schedules the fixture workload — 300 Lublin
+// jobs on a 64-core machine, generator seed 12345, Tsafrir estimate seed
+// 67890 — and compares every metric exactly.
+func TestGoldenLublinFixture(t *testing.T) {
+	gen, err := lublin.NewGenerator(lublin.DefaultParams(64), 64, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := gen.Jobs(300)
+	if err := tsafrir.Apply(tsafrir.Default(), jobs, 67890); err != nil {
+		t.Fatal(err)
+	}
+	for mode, want := range goldenRows {
+		res, err := sim.Run(sim.Platform{Cores: 64}, jobs, sim.Options{
+			Policy:       sched.F1(),
+			Backfill:     mode,
+			UseEstimates: true,
+			Check:        true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		got := goldenRow{
+			AVEbsld:     res.AVEbsld,
+			MeanWait:    res.MeanWait,
+			Makespan:    res.Makespan,
+			Utilization: res.Utilization,
+			Backfilled:  res.Backfilled,
+			MaxQueueLen: res.MaxQueueLen,
+		}
+		if got != want {
+			t.Errorf("%v:\n got  %+v\n want %+v", mode, got, want)
+		}
+	}
+}

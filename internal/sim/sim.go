@@ -77,6 +77,15 @@ type Options struct {
 	// RecordTimeline collects a (time, queue length, cores in use) point
 	// after every event batch, for schedule visualization and debugging.
 	RecordTimeline bool
+	// Check enables runtime invariant checking: cores never
+	// oversubscribed, no start before submission, deterministic queue
+	// order, the EASY head never delayed past its reservation,
+	// conservative reservations never oversubscribing the future machine,
+	// plus a post-run schedule audit (simref.CheckSchedule). Run returns
+	// the first violation as an error. The checks cost a small constant
+	// factor; they exist so every engine refactor can be exercised
+	// against the reference oracle and the fuzzer. See check.go.
+	Check bool
 }
 
 // TimelinePoint is one sample of the cluster state.
@@ -146,7 +155,13 @@ func Run(p Platform, jobs []workload.Job, opt Options) (*Result, error) {
 	}
 	e := newEngine(p, jobs, opt)
 	e.run()
-	return e.result(), nil
+	res := e.result()
+	if opt.Check {
+		if err := e.verify(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // AveBsld computes the average bounded slowdown over the stats for which

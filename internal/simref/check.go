@@ -1,0 +1,91 @@
+package simref
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckSchedule audits a complete schedule against the machine-level
+// invariants every valid run must satisfy, independent of policy or
+// backfill mode:
+//
+//   - every job started (placements are complete), at or after its
+//     submission time;
+//   - every job ran for a positive duration (finish > start);
+//   - the start/finish envelope never uses more than cores cores at any
+//     instant, counting releases before acquisitions at equal times the
+//     way the engine applies completions before arrivals.
+//
+// It is the post-run half of sim.Options.Check and the backbone of the
+// fuzz harness: any engine bug that manifests as an impossible schedule
+// is caught here even when the differential oracle is not consulted.
+func CheckSchedule(cores int, pls []Placement) error {
+	if cores <= 0 {
+		return ErrNoCores
+	}
+	type ev struct {
+		at    float64
+		delta int
+		id    int
+	}
+	evs := make([]ev, 0, 2*len(pls))
+	for i := range pls {
+		p := &pls[i]
+		if p.Start < p.Job.Submit-timeEps {
+			return fmt.Errorf("simref: job %d started at %g before its submission at %g",
+				p.Job.ID, p.Start, p.Job.Submit)
+		}
+		if p.Finish <= p.Start {
+			return fmt.Errorf("simref: job %d has non-positive execution [%g, %g]",
+				p.Job.ID, p.Start, p.Finish)
+		}
+		evs = append(evs,
+			ev{at: p.Start, delta: p.Job.Cores, id: p.Job.ID},
+			ev{at: p.Finish, delta: -p.Job.Cores, id: p.Job.ID})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta // releases before acquisitions
+	})
+	used := 0
+	for _, e := range evs {
+		used += e.delta
+		if used > cores {
+			return fmt.Errorf("simref: %d cores in use at t=%g around job %d (platform has %d)",
+				used, e.at, e.id, cores)
+		}
+	}
+	if used != 0 {
+		return fmt.Errorf("simref: unbalanced schedule: %d cores never released", used)
+	}
+	return nil
+}
+
+// Compare reports the first divergence between two schedules of the same
+// job list (typically the optimized engine versus this oracle). Start and
+// finish times must match bit-for-bit — both implementations compute them
+// with identical floating-point expressions — and backfill attribution
+// must agree.
+func Compare(got, want []Placement) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("simref: schedule length %d != oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := &got[i], &want[i]
+		if g.Job.ID != w.Job.ID {
+			return fmt.Errorf("simref: placement %d is job %d, oracle has job %d", i, g.Job.ID, w.Job.ID)
+		}
+		if g.Start != w.Start {
+			return fmt.Errorf("simref: job %d start %g != oracle %g", g.Job.ID, g.Start, w.Start)
+		}
+		if g.Finish != w.Finish {
+			return fmt.Errorf("simref: job %d finish %g != oracle %g", g.Job.ID, g.Finish, w.Finish)
+		}
+		if g.Backfilled != w.Backfilled {
+			return fmt.Errorf("simref: job %d backfilled=%v, oracle says %v", g.Job.ID, g.Backfilled, w.Backfilled)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+// Package simref is a small, slow, obviously-correct reference
+// implementation of the sim engine's scheduling semantics, plus a
+// schedule auditor (CheckSchedule). It exists so the optimized engine in
+// internal/sim can be differentially tested: for any workload and any
+// option combination, simref.Run must produce bit-identical placements.
+//
+// The implementation deliberately keeps no incremental state: every
+// scheduling pass recomputes scores, re-sorts the waiting queue, rescans
+// the running set and rebuilds the availability profile from scratch,
+// using nothing but plain slices and linear scans. That makes it O(n²)
+// and easy to audit line by line — the properties the optimized engine
+// trades away.
+//
+// The scheduling *semantics* are a shared contract with internal/sim and
+// are spelled out here so both sides implement the same spec:
+//
+//   - Time advances to the next submission or completion instant; all
+//     events at exactly that timestamp are applied together, completions
+//     before arrivals, followed by one scheduling pass.
+//   - The waiting queue is ordered by ascending (score, submit, id).
+//     Static policies are scored with Wait = 0; time-varying policies are
+//     rescored at every pass.
+//   - The queue head starts while it fits; EASY and conservative
+//     backfilling follow Mu'alem & Feitelson with decisions made on
+//     perceived runtimes (the estimate when UseEstimates is set).
+//   - A running task's perceived finish is start + perceived, clamped to
+//     the current time; release scans visit running tasks in ascending
+//     (start + perceived, job id) order.
+//   - Schedule-time comparisons use the shared epsilon (1e-9); the
+//     conservative profile coalesces releases within the epsilon. These
+//     constants and expressions are intentionally identical to the
+//     engine's so the two produce the same floating-point results.
+//
+// simref must not import internal/sim (sim imports simref for its
+// Options.Check audit), so the option surface is mirrored here.
+package simref
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// timeEps is the shared schedule-time comparison epsilon (= sim's).
+const timeEps = 1e-9
+
+// Mode mirrors sim.BackfillMode without importing it.
+type Mode int
+
+const (
+	ModeNone Mode = iota
+	ModeEASY
+	ModeConservative
+)
+
+// Options mirrors the scheduling-relevant fields of sim.Options.
+type Options struct {
+	Policy         sched.Policy
+	BackfillOrder  sched.Policy // EASY candidate order (SJBF-style); nil = queue order
+	Mode           Mode
+	UseEstimates   bool
+	KillAtEstimate bool
+}
+
+// Placement is the oracle's verdict for one job, in input order.
+type Placement struct {
+	Job        workload.Job
+	Start      float64
+	Finish     float64
+	Backfilled bool
+}
+
+// Errors mirroring sim.Run's validation.
+var (
+	ErrNoPolicy = errors.New("simref: options require a policy")
+	ErrNoCores  = errors.New("simref: platform needs at least one core")
+)
+
+type refTask struct {
+	job        workload.Job
+	perceived  float64
+	execution  float64
+	arrived    bool
+	started    bool
+	done       bool
+	backfilled bool
+	start      float64
+	finish     float64
+}
+
+type refSim struct {
+	cores int
+	free  int
+	opt   Options
+	ts    []refTask
+	now   float64
+}
+
+// Run schedules jobs on a cores-wide machine and returns one Placement
+// per input job, in input order.
+func Run(cores int, jobs []workload.Job, opt Options) ([]Placement, error) {
+	if opt.Policy == nil {
+		return nil, ErrNoPolicy
+	}
+	if cores <= 0 {
+		return nil, ErrNoCores
+	}
+	for i := range jobs {
+		if err := jobs[i].Validate(cores); err != nil {
+			return nil, fmt.Errorf("simref: %w", err)
+		}
+	}
+	s := &refSim{cores: cores, free: cores, opt: opt, ts: make([]refTask, len(jobs))}
+	for i, j := range jobs {
+		perceived := j.Runtime
+		if opt.UseEstimates && j.Estimate > 0 {
+			perceived = j.Estimate
+		}
+		execution := j.Runtime
+		if opt.KillAtEstimate && j.Estimate > 0 && j.Estimate < execution {
+			execution = j.Estimate
+		}
+		s.ts[i] = refTask{job: j, perceived: perceived, execution: execution}
+	}
+	s.loop()
+	out := make([]Placement, len(jobs))
+	for i := range s.ts {
+		t := &s.ts[i]
+		out[i] = Placement{Job: t.job, Start: t.start, Finish: t.finish, Backfilled: t.backfilled}
+	}
+	return out, nil
+}
+
+// loop is the event loop: find the next instant anything happens, apply
+// every completion and arrival at exactly that instant (completions
+// first), then hold one scheduling pass.
+func (s *refSim) loop() {
+	for {
+		now := math.Inf(1)
+		for i := range s.ts {
+			t := &s.ts[i]
+			if !t.arrived {
+				if t.job.Submit < now {
+					now = t.job.Submit
+				}
+			} else if t.started && !t.done {
+				if t.finish < now {
+					now = t.finish
+				}
+			}
+		}
+		if math.IsInf(now, 1) {
+			return
+		}
+		s.now = now
+		for i := range s.ts { // completions before arrivals
+			t := &s.ts[i]
+			if t.started && !t.done && t.finish == now {
+				t.done = true
+				s.free += t.job.Cores
+			}
+		}
+		for i := range s.ts {
+			t := &s.ts[i]
+			if !t.arrived && t.job.Submit == now {
+				t.arrived = true
+			}
+		}
+		s.schedulePass()
+	}
+}
+
+// score evaluates the policy for task i at the current time. Static
+// policies see Wait = 0 (their score cannot depend on it); time-varying
+// policies see the true wait.
+func (s *refSim) score(i int) float64 {
+	t := &s.ts[i]
+	wait := 0.0
+	if s.opt.Policy.TimeVarying() {
+		wait = s.now - t.job.Submit
+		if wait < 0 {
+			wait = 0
+		}
+	}
+	v := sched.JobView{
+		Runtime: t.perceived,
+		Cores:   float64(t.job.Cores),
+		Submit:  t.job.Submit,
+		Wait:    wait,
+	}
+	if w, ok := s.opt.Policy.(sched.PolicyWithID); ok {
+		return w.ScoreID(t.job.ID, v)
+	}
+	return s.opt.Policy.Score(v)
+}
+
+// waitingQueue rebuilds the waiting queue from scratch: every arrived,
+// unstarted task, sorted by (score, submit, id).
+func (s *refSim) waitingQueue() []int {
+	var q []int
+	for i := range s.ts {
+		if s.ts[i].arrived && !s.ts[i].started {
+			q = append(q, i)
+		}
+	}
+	scores := make(map[int]float64, len(q))
+	for _, i := range q {
+		scores[i] = s.score(i)
+	}
+	sort.SliceStable(q, func(a, b int) bool {
+		ta, tb := &s.ts[q[a]], &s.ts[q[b]]
+		if scores[q[a]] != scores[q[b]] {
+			return scores[q[a]] < scores[q[b]]
+		}
+		if ta.job.Submit != tb.job.Submit {
+			return ta.job.Submit < tb.job.Submit
+		}
+		return ta.job.ID < tb.job.ID
+	})
+	return q
+}
+
+func (s *refSim) start(i int, backfill bool) {
+	t := &s.ts[i]
+	t.started = true
+	t.backfilled = backfill
+	t.start = s.now
+	t.finish = s.now + t.execution
+	s.free -= t.job.Cores
+}
+
+func (s *refSim) schedulePass() {
+	q := s.waitingQueue()
+	if len(q) == 0 || s.free == 0 {
+		return
+	}
+	for len(q) > 0 && s.ts[q[0]].job.Cores <= s.free {
+		s.start(q[0], false)
+		q = q[1:]
+	}
+	if len(q) == 0 || s.free == 0 {
+		return
+	}
+	switch s.opt.Mode {
+	case ModeEASY:
+		s.easy(q)
+	case ModeConservative:
+		s.conservative(q)
+	}
+}
+
+// runningByFinish lists running tasks in ascending (start + perceived,
+// job id) order — the release order every reservation scan uses.
+func (s *refSim) runningByFinish() []int {
+	var run []int
+	for i := range s.ts {
+		if s.ts[i].started && !s.ts[i].done {
+			run = append(run, i)
+		}
+	}
+	sort.SliceStable(run, func(a, b int) bool {
+		pa := s.ts[run[a]].start + s.ts[run[a]].perceived
+		pb := s.ts[run[b]].start + s.ts[run[b]].perceived
+		if pa != pb {
+			return pa < pb
+		}
+		return s.ts[run[a]].job.ID < s.ts[run[b]].job.ID
+	})
+	return run
+}
+
+// clampedFinish is a running task's perceived finish, never in the past.
+func (s *refSim) clampedFinish(i int) float64 {
+	pf := s.ts[i].start + s.ts[i].perceived
+	if pf < s.now {
+		pf = s.now
+	}
+	return pf
+}
+
+// reservation computes the EASY head reservation: walk releases in
+// perceived-finish order accumulating freed cores until the head fits.
+func (s *refSim) reservation(head int) (shadow float64, extra int) {
+	need := s.ts[head].job.Cores
+	free := s.free
+	for _, ri := range s.runningByFinish() {
+		free += s.ts[ri].job.Cores
+		if free >= need {
+			return s.clampedFinish(ri), free - need
+		}
+	}
+	return math.Inf(1), 0
+}
+
+// easy implements aggressive backfilling: repeatedly recompute the head's
+// reservation and start the first safe candidate, until none remains.
+func (s *refSim) easy(q []int) {
+	for s.free > 0 {
+		var cands []int
+		for _, i := range q[1:] {
+			if !s.ts[i].started {
+				cands = append(cands, i)
+			}
+		}
+		if len(cands) == 0 {
+			return
+		}
+		shadow, extra := s.reservation(q[0])
+		if p := s.opt.BackfillOrder; p != nil {
+			keys := make(map[int]float64, len(cands))
+			for _, i := range cands {
+				t := &s.ts[i]
+				wait := s.now - t.job.Submit
+				if wait < 0 {
+					wait = 0
+				}
+				keys[i] = p.Score(sched.JobView{
+					Runtime: t.perceived,
+					Cores:   float64(t.job.Cores),
+					Submit:  t.job.Submit,
+					Wait:    wait,
+				})
+			}
+			sort.SliceStable(cands, func(a, b int) bool {
+				if keys[cands[a]] != keys[cands[b]] {
+					return keys[cands[a]] < keys[cands[b]]
+				}
+				ta, tb := &s.ts[cands[a]], &s.ts[cands[b]]
+				if ta.job.Submit != tb.job.Submit {
+					return ta.job.Submit < tb.job.Submit
+				}
+				return ta.job.ID < tb.job.ID
+			})
+		}
+		started := false
+		for _, ci := range cands {
+			t := &s.ts[ci]
+			if t.job.Cores > s.free {
+				continue
+			}
+			if s.now+t.perceived <= shadow+timeEps || t.job.Cores <= extra {
+				s.start(ci, true)
+				started = true
+				break
+			}
+		}
+		if !started {
+			return
+		}
+	}
+}
+
+// conservative gives every waiting task a reservation in queue order over
+// a freshly built availability profile; a task starts now only when its
+// reservation is immediate.
+func (s *refSim) conservative(q []int) {
+	times := []float64{s.now}
+	avail := []int{s.free}
+	for _, ri := range s.runningByFinish() {
+		at := s.clampedFinish(ri)
+		last := len(times) - 1
+		if at <= times[last]+timeEps {
+			avail[last] += s.ts[ri].job.Cores
+			continue
+		}
+		times = append(times, at)
+		avail = append(avail, avail[last]+s.ts[ri].job.Cores)
+	}
+	for _, wi := range q {
+		t := &s.ts[wi]
+		st := earliest(times, avail, t.job.Cores, t.perceived)
+		times, avail = reserve(times, avail, st, t.perceived, t.job.Cores)
+		if st <= s.now+timeEps && t.job.Cores <= s.free {
+			s.start(wi, true)
+		}
+	}
+}
+
+// earliest scans the step function for the first interval start at which
+// cores are continuously available for duration. Expression-identical to
+// the engine's profile.earliestStart.
+func earliest(times []float64, avail []int, cores int, duration float64) float64 {
+	for i := 0; i < len(times); i++ {
+		if avail[i] < cores {
+			continue
+		}
+		t := times[i]
+		end := t + duration
+		ok := true
+		for j := i; j < len(times) && times[j] < end-timeEps; j++ {
+			if avail[j] < cores {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t
+		}
+	}
+	return times[len(times)-1]
+}
+
+// breakAt ensures t is a breakpoint of the step function, returning its
+// index and the (possibly reallocated) slices. Times beyond the last
+// breakpoint extend the function; times before the origin clamp to it.
+func breakAt(times []float64, avail []int, t float64) (int, []float64, []int) {
+	last := len(times) - 1
+	if t > times[last] {
+		times = append(times, t)
+		avail = append(avail, avail[last])
+		return len(times) - 1, times, avail
+	}
+	if t <= times[0] {
+		return 0, times, avail
+	}
+	i := sort.SearchFloat64s(times, t)
+	if i < len(times) && times[i] == t {
+		return i, times, avail
+	}
+	times = append(times, 0)
+	avail = append(avail, 0)
+	copy(times[i+1:], times[i:])
+	copy(avail[i+1:], avail[i:])
+	times[i] = t
+	avail[i] = avail[i-1]
+	return i, times, avail
+}
+
+// reserve subtracts cores over [t, t+duration) in the step function.
+func reserve(times []float64, avail []int, t, duration float64, cores int) ([]float64, []int) {
+	var start, end int
+	start, times, avail = breakAt(times, avail, t)
+	end, times, avail = breakAt(times, avail, t+duration)
+	for i := start; i < end; i++ {
+		avail[i] -= cores
+	}
+	return times, avail
+}

@@ -1,0 +1,111 @@
+package simref
+
+import (
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func job(id int, submit, runtime float64, cores int) workload.Job {
+	return workload.Job{ID: id, Submit: submit, Runtime: runtime, Estimate: runtime, Cores: cores}
+}
+
+func mustRun(t *testing.T, cores int, jobs []workload.Job, opt Options) []Placement {
+	t.Helper()
+	pls, err := Run(cores, jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pls
+}
+
+func TestRefValidation(t *testing.T) {
+	if _, err := Run(4, nil, Options{}); err != ErrNoPolicy {
+		t.Errorf("missing policy: err = %v", err)
+	}
+	if _, err := Run(0, nil, Options{Policy: sched.FCFS()}); err != ErrNoCores {
+		t.Errorf("no cores: err = %v", err)
+	}
+	if _, err := Run(4, []workload.Job{job(1, 0, 10, 8)}, Options{Policy: sched.FCFS()}); err == nil {
+		t.Error("oversized job accepted")
+	}
+}
+
+// TestRefEASYTextbook replays the sim package's canonical EASY case: the
+// oracle must backfill the safe candidate and never delay the head.
+func TestRefEASYTextbook(t *testing.T) {
+	jobs := []workload.Job{
+		job(1, 0, 100, 2),  // A
+		job(2, 10, 50, 4),  // B: blocked head, shadow = 100
+		job(3, 20, 80, 2),  // C: finishes by the shadow, backfills
+		job(4, 25, 200, 2), // D: unsafe
+	}
+	pls := mustRun(t, 4, jobs, Options{Policy: sched.FCFS(), Mode: ModeEASY})
+	if pls[2].Start != 20 || !pls[2].Backfilled {
+		t.Errorf("C = %+v, want backfilled at 20", pls[2])
+	}
+	if pls[1].Start != 100 {
+		t.Errorf("B start = %v, want 100 (head not delayed)", pls[1].Start)
+	}
+	if pls[3].Start != 150 {
+		t.Errorf("D start = %v, want 150", pls[3].Start)
+	}
+	if err := CheckSchedule(4, pls); err != nil {
+		t.Errorf("CheckSchedule: %v", err)
+	}
+}
+
+func TestRefConservativeTextbook(t *testing.T) {
+	jobs := []workload.Job{
+		job(1, 0, 100, 2),
+		job(2, 10, 50, 4),
+		job(3, 20, 80, 2),
+		job(4, 25, 200, 2), // would delay B's reservation
+	}
+	pls := mustRun(t, 4, jobs, Options{Policy: sched.FCFS(), Mode: ModeConservative})
+	want := []float64{0, 100, 20, 150}
+	for i, w := range want {
+		if pls[i].Start != w {
+			t.Errorf("job %d start = %v, want %v", i+1, pls[i].Start, w)
+		}
+	}
+}
+
+func TestRefCompare(t *testing.T) {
+	jobs := []workload.Job{job(1, 0, 10, 1), job(2, 0, 20, 1)}
+	a := mustRun(t, 2, jobs, Options{Policy: sched.FCFS()})
+	b := mustRun(t, 2, jobs, Options{Policy: sched.FCFS()})
+	if err := Compare(a, b); err != nil {
+		t.Errorf("identical runs differ: %v", err)
+	}
+	b[1].Start += 1
+	b[1].Finish += 1
+	if err := Compare(a, b); err == nil {
+		t.Error("perturbed schedule not flagged")
+	}
+	if err := Compare(a, a[:1]); err == nil {
+		t.Error("length mismatch not flagged")
+	}
+}
+
+func TestRefCheckScheduleRejectsImpossible(t *testing.T) {
+	pls := []Placement{
+		{Job: job(1, 0, 10, 3), Start: 0, Finish: 10},
+		{Job: job(2, 0, 10, 3), Start: 5, Finish: 15}, // overlaps on a 4-core machine
+	}
+	if err := CheckSchedule(4, pls); err == nil {
+		t.Error("oversubscription not caught")
+	}
+	if err := CheckSchedule(8, pls); err != nil {
+		t.Errorf("feasible schedule rejected: %v", err)
+	}
+	early := []Placement{{Job: job(1, 50, 10, 1), Start: 0, Finish: 10}}
+	if err := CheckSchedule(4, early); err == nil {
+		t.Error("start before submit not caught")
+	}
+	zero := []Placement{{Job: job(1, 0, 10, 1), Start: 0, Finish: 0}}
+	if err := CheckSchedule(4, zero); err == nil {
+		t.Error("unstarted job not caught")
+	}
+}

@@ -1,0 +1,103 @@
+// Package simtest is the differential test harness shared by the sim
+// package's oracle tests, the engine fuzzer and any future engine
+// refactor: it generates adversarial random workloads, runs the optimized
+// engine and the simref oracle on identical inputs, and reports the first
+// divergence.
+package simtest
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/simref"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// RandomJobs draws a workload designed to exercise the engine's edge
+// paths, not to look realistic: bursty arrivals (identical submit times),
+// quantized runtimes (policy-score ties), underestimates (perceived-finish
+// clamping), overestimates, exact estimates, and occasional full-machine
+// jobs (head reservations that drain the whole running set).
+func RandomJobs(rng *dist.RNG, n, maxCores int) []workload.Job {
+	jobs := make([]workload.Job, n)
+	now := 0.0
+	for i := range jobs {
+		if rng.Float64() >= 0.3 { // 30%: burst arrival at the same instant
+			now += rng.Float64() * 40
+		}
+		var r float64
+		if rng.Float64() < 0.25 {
+			r = float64(1+rng.IntN(8)) * 25 // quantized: forces score and finish ties
+		} else {
+			r = 1 + rng.Float64()*600
+		}
+		e := r
+		switch rng.IntN(3) {
+		case 0:
+			e = r * (1 + rng.Float64()*2) // overestimate, the common case
+		case 1:
+			e = math.Max(1, r*rng.Float64()) // underestimate: clamped perceived finishes
+		}
+		c := 1 + rng.IntN(maxCores)
+		if rng.Float64() < 0.05 {
+			c = maxCores // full-machine job: shadow needs every release
+		}
+		jobs[i] = workload.Job{ID: i + 1, Submit: now, Runtime: r, Estimate: e, Cores: c}
+	}
+	return jobs
+}
+
+// Modes is the backfill matrix every differential sweep covers.
+var Modes = []sim.BackfillMode{sim.BackfillNone, sim.BackfillEASY, sim.BackfillConservative}
+
+// RefMode translates a sim backfill mode for the oracle.
+func RefMode(m sim.BackfillMode) simref.Mode {
+	switch m {
+	case sim.BackfillEASY:
+		return simref.ModeEASY
+	case sim.BackfillConservative:
+		return simref.ModeConservative
+	default:
+		return simref.ModeNone
+	}
+}
+
+// Placements converts an engine result for simref.Compare/CheckSchedule.
+func Placements(res *sim.Result) []simref.Placement {
+	out := make([]simref.Placement, len(res.Stats))
+	for i, s := range res.Stats {
+		out[i] = simref.Placement{Job: s.Job, Start: s.Start, Finish: s.Finish, Backfilled: s.Backfilled}
+	}
+	return out
+}
+
+// Differential runs the optimized engine (with invariant checking on) and
+// the reference oracle on the same input and requires bit-identical
+// schedules. The sim options' Backfill field selects the oracle mode.
+func Differential(cores int, jobs []workload.Job, opt sim.Options) error {
+	opt.Check = true
+	res, err := sim.Run(sim.Platform{Cores: cores}, jobs, opt)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	ref, err := simref.Run(cores, jobs, simref.Options{
+		Policy:         opt.Policy,
+		BackfillOrder:  opt.BackfillOrder,
+		Mode:           RefMode(opt.Backfill),
+		UseEstimates:   opt.UseEstimates,
+		KillAtEstimate: opt.KillAtEstimate,
+	})
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	if err := simref.CheckSchedule(cores, ref); err != nil {
+		return fmt.Errorf("oracle schedule: %w", err)
+	}
+	if err := simref.Compare(Placements(res), ref); err != nil {
+		return fmt.Errorf("engine diverged from oracle (%s, estimates=%v, kill=%v): %w",
+			opt.Backfill, opt.UseEstimates, opt.KillAtEstimate, err)
+	}
+	return nil
+}

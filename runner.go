@@ -258,6 +258,7 @@ func (r *Runner) Run(ctx context.Context, g *Grid) (*GridResult, error) {
 			Backfill:       sc.Backfill,
 			Tau:            sc.Tau,
 			KillAtEstimate: sc.KillAtEstimate,
+			Check:          sc.Check,
 		})
 		if err != nil {
 			return fmt.Errorf("gensched: %s seq %d: %w", sc.Name, t.seq, err)

@@ -3,6 +3,7 @@ package gensched
 import (
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -124,6 +125,79 @@ func TestRunnerDeterministicAcrossWorkers(t *testing.T) {
 				t.Errorf("cell %d seq %d differs across worker counts", i, j)
 			}
 		}
+	}
+}
+
+// TestRunnerDeterministicKeepSimsAcrossWorkers extends the determinism
+// acceptance check to the full simulation payload: a grid spanning every
+// backfill mode, run with KeepSims on, must be bit-identical between
+// Workers=1 and Workers=8 down to every per-job statistic — and cells
+// sharing a workload (paired policies) must schedule the exact same jobs.
+func TestRunnerDeterministicKeepSimsAcrossWorkers(t *testing.T) {
+	mkGrid := func() *Grid {
+		g, err := NewGrid(gridBase(t, WithCheck()),
+			OverPolicies("FCFS", "F1"),
+			OverSeeds(1, 2),
+			OverBackfills(BackfillNone, BackfillEASY, BackfillConservative),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, err := (&Runner{Workers: 1, KeepSims: true}).Run(context.Background(), mkGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Runner{Workers: 8, KeepSims: true}).Run(context.Background(), mkGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != 12 || len(b.Cells) != 12 {
+		t.Fatalf("got %d and %d cells, want 12", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.Scenario.Name != cb.Scenario.Name || ca.WorkloadSeed != cb.WorkloadSeed {
+			t.Fatalf("cell %d identity differs across worker counts", i)
+		}
+		if ca.AVEbsld != cb.AVEbsld || !reflect.DeepEqual(ca.PerSeq, cb.PerSeq) {
+			t.Errorf("cell %d (%s): aggregates differ across worker counts", i, ca.Scenario.Name)
+		}
+		if len(ca.Sims) == 0 || len(ca.Sims) != len(cb.Sims) {
+			t.Fatalf("cell %d: KeepSims payload missing (%d vs %d)", i, len(ca.Sims), len(cb.Sims))
+		}
+		for j := range ca.Sims {
+			if !reflect.DeepEqual(ca.Sims[j], cb.Sims[j]) {
+				t.Errorf("cell %d seq %d: full simulation results differ across worker counts", i, j)
+			}
+		}
+	}
+	// Paired-workload reuse: cells sharing (seed axis) must have scheduled
+	// the exact same job sequences, job for job, regardless of policy or
+	// backfill mode.
+	bySeed := make(map[uint64]*CellResult)
+	for _, c := range a.Cells {
+		first, ok := bySeed[c.WorkloadSeed]
+		if !ok {
+			bySeed[c.WorkloadSeed] = c
+			continue
+		}
+		for j := range c.Sims {
+			fs, cs := first.Sims[j].Stats, c.Sims[j].Stats
+			if len(fs) != len(cs) {
+				t.Fatalf("paired cells %s vs %s: sequence %d sizes differ", first.Scenario.Name, c.Scenario.Name, j)
+			}
+			for k := range fs {
+				if fs[k].Job != cs[k].Job {
+					t.Fatalf("paired cells %s vs %s: job %d differs — workload not reused",
+						first.Scenario.Name, c.Scenario.Name, k)
+				}
+			}
+		}
+	}
+	if len(bySeed) != 2 {
+		t.Fatalf("expected 2 distinct workloads (one per seed), got %d", len(bySeed))
 	}
 }
 

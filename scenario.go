@@ -45,6 +45,14 @@ type Scenario struct {
 	Tau float64
 	// KillAtEstimate truncates execution at the user estimate.
 	KillAtEstimate bool
+	// Check enables runtime invariant checking in every simulation of the
+	// scenario (sim.Options.Check): cores never oversubscribed, no start
+	// before submission, the EASY head never delayed, conservative
+	// reservations honored, plus a post-run schedule audit against the
+	// reference checker. A violation fails the run with a descriptive
+	// error. Costs a small constant factor; intended for engine
+	// development, CI and debugging rather than large production grids.
+	Check bool
 	// Load is the target offered load for generated workloads; 0 keeps
 	// the model's natural load.
 	Load float64
@@ -90,7 +98,42 @@ func NewScenario(opts ...Option) (*Scenario, error) {
 	if sc.Cores <= 0 && sc.Source.DefaultCores() <= 0 {
 		return nil, fmt.Errorf("gensched: scenario needs a positive core count")
 	}
+	if err := sc.validateJobSizes(); err != nil {
+		return nil, err
+	}
 	return sc, nil
+}
+
+// boundedSource lets fixed workload sources (traces, job lists, pre-built
+// windows) expose their largest job so scenario construction can reject
+// unschedulable workloads up front, with a clear error, instead of
+// surfacing sim.Run's rejection from deep inside a grid run. Generated
+// sources (Lublin, platforms) size jobs to the machine by construction.
+type boundedSource interface {
+	maxJobCores() (cores, jobID int)
+}
+
+// validateJobSizes rejects scenarios whose fixed workload contains a job
+// larger than the machine it will be scheduled on — the condition that
+// would otherwise leave the queue head unschedulable forever (the
+// "unreachable" branch in the EASY reservation scan).
+func (sc *Scenario) validateJobSizes() error {
+	return validateSourceJobs(sc.Source, cellCores(sc, sc.Source), sc.Name)
+}
+
+// validateSourceJobs checks a fixed source's largest job against the
+// machine size; NewScenario and NewGrid both call it so the error
+// surfaces at construction, not from deep inside a grid run.
+func validateSourceJobs(src WorkloadSource, cores int, name string) error {
+	b, ok := src.(boundedSource)
+	if !ok || cores <= 0 {
+		return nil
+	}
+	if maxCores, id := b.maxJobCores(); maxCores > cores {
+		return fmt.Errorf("gensched: scenario %q: job %d requires %d cores but the platform has %d; "+
+			"raise WithCores, repair the trace (Trace.Repair), or drop the job", name, id, maxCores, cores)
+	}
+	return nil
 }
 
 // MustScenario is NewScenario that panics on error; convenient in
@@ -275,6 +318,15 @@ func WithKillAtEstimate() Option {
 	return func(sc *Scenario) error { sc.KillAtEstimate = true; return nil }
 }
 
+// WithCheck turns on runtime invariant checking in every simulation of
+// the scenario: the engine validates its own scheduling decisions
+// (oversubscription, start-before-submit, queue order, the EASY no-delay
+// guarantee, conservative reservation feasibility) and audits the final
+// schedule, failing the run on the first violation.
+func WithCheck() Option {
+	return func(sc *Scenario) error { sc.Check = true; return nil }
+}
+
 // WithLoad sets the target offered load for generated workloads.
 func WithLoad(load float64) Option {
 	return func(sc *Scenario) error {
@@ -427,11 +479,29 @@ type windowsSource struct {
 func (s windowsSource) Describe() string  { return s.name }
 func (s windowsSource) DefaultCores() int { return s.cores }
 
-func (s windowsSource) Build(WorkloadRequest) (*Workload, error) {
+func (s windowsSource) Build(req WorkloadRequest) (*Workload, error) {
 	if len(s.windows) == 0 {
 		return nil, fmt.Errorf("gensched: fixed-window source %q has no sequences", s.name)
 	}
-	return &Workload{Name: s.name, Cores: s.cores, Windows: s.windows}, nil
+	// An explicit machine size overrides the source's intrinsic one, the
+	// same contract traceSource honors — and the size the build-time
+	// job-size validation (cellCores) assumes the cell will run on.
+	cores := s.cores
+	if req.Cores > 0 {
+		cores = req.Cores
+	}
+	return &Workload{Name: s.name, Cores: cores, Windows: s.windows}, nil
+}
+
+func (s windowsSource) maxJobCores() (cores, jobID int) {
+	for _, w := range s.windows {
+		for _, j := range w {
+			if j.Cores > cores {
+				cores, jobID = j.Cores, j.ID
+			}
+		}
+	}
+	return cores, jobID
 }
 
 // FixedTrace returns a source that replays an existing trace. With
@@ -446,6 +516,15 @@ type traceSource struct {
 
 func (s traceSource) Describe() string  { return s.trace.Name }
 func (s traceSource) DefaultCores() int { return s.trace.MaxProcs }
+
+func (s traceSource) maxJobCores() (cores, jobID int) {
+	for _, j := range s.trace.Jobs {
+		if j.Cores > cores {
+			cores, jobID = j.Cores, j.ID
+		}
+	}
+	return cores, jobID
+}
 
 func (s traceSource) Build(req WorkloadRequest) (*Workload, error) {
 	cores := s.trace.MaxProcs

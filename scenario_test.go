@@ -67,6 +67,106 @@ func TestNewScenarioErrors(t *testing.T) {
 	}
 }
 
+func TestScenarioRejectsOversizedJobs(t *testing.T) {
+	big := []Job{
+		{ID: 1, Submit: 0, Runtime: 10, Estimate: 10, Cores: 2},
+		{ID: 7, Submit: 5, Runtime: 10, Estimate: 10, Cores: 32}, // larger than the machine
+	}
+	// WithJobs: the job list's own platform size is too small.
+	if _, err := NewScenario(WithJobs("big", 16, big), WithPolicy("FCFS")); err == nil {
+		t.Error("WithJobs accepted a job larger than its platform")
+	} else if !strings.Contains(err.Error(), "job 7") || !strings.Contains(err.Error(), "32 cores") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+	// WithTrace behaves the same.
+	tr := &Trace{Name: "big", MaxProcs: 16, Jobs: big}
+	if _, err := NewScenario(WithTrace(tr), WithPolicy("FCFS")); err == nil {
+		t.Error("WithTrace accepted a job larger than its platform")
+	}
+	// An explicit WithCores below the largest job is rejected too...
+	if _, err := NewScenario(WithJobs("big", 64, big), WithCores(16), WithPolicy("FCFS")); err == nil {
+		t.Error("WithCores shrank the platform below the largest job")
+	}
+	// ...while a machine that fits passes, as does FixedWindows.
+	if _, err := NewScenario(WithJobs("big", 64, big), WithPolicy("FCFS")); err != nil {
+		t.Errorf("valid job list rejected: %v", err)
+	}
+	// FixedWindows sources attach through grids; NewGrid validates them.
+	ok, err := NewScenario(WithPolicy("FCFS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGrid(ok, OverSources(FixedWindows("w", 16, [][]Job{big}))); err == nil {
+		t.Error("NewGrid accepted a fixed-window job larger than its platform")
+	}
+	// An explicit WithCores below a fixed-window job is rejected too.
+	small, err := NewScenario(WithCores(8), WithPolicy("FCFS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGrid(small, OverSources(FixedWindows("w", 64, [][]Job{big}))); err == nil {
+		t.Error("NewGrid accepted a fixed-window job larger than the explicit machine size")
+	}
+}
+
+// TestFixedWindowsHonorsExplicitCores locks the contract the build-time
+// validation assumes: an explicit WithCores overrides a FixedWindows
+// source's intrinsic machine size, exactly like WithTrace sources, so
+// what NewGrid validates is what the cell runs on.
+func TestFixedWindowsHonorsExplicitCores(t *testing.T) {
+	jobs := []Job{{ID: 1, Submit: 0, Runtime: 10, Estimate: 10, Cores: 16}}
+	base, err := NewScenario(WithCores(16), WithPolicy("FCFS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(base, OverSources(FixedWindows("w", 8, [][]Job{jobs})))
+	if err != nil {
+		t.Fatalf("grid rejected despite the explicit 16-core machine: %v", err)
+	}
+	res, err := (&Runner{}).Run(context.Background(), g)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if res.Cells[0].Cores != 16 {
+		t.Errorf("cell ran on %d cores, want the explicit 16", res.Cells[0].Cores)
+	}
+	// Without WithCores the source's own size wins, unchanged.
+	plain, err := NewScenario(WithPolicy("FCFS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := []Job{{ID: 1, Submit: 0, Runtime: 10, Estimate: 10, Cores: 1}}
+	g2, err := NewGrid(plain, OverSources(FixedWindows("w", 8, [][]Job{ones})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := (&Runner{}).Run(context.Background(), g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cells[0].Cores != 8 {
+		t.Errorf("cell ran on %d cores, want the source's 8", res2.Cells[0].Cores)
+	}
+}
+
+func TestWithCheckPropagatesToSimulations(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 0, Runtime: 100, Estimate: 100, Cores: 2},
+		{ID: 2, Submit: 1, Runtime: 50, Estimate: 50, Cores: 4},
+		{ID: 3, Submit: 2, Runtime: 30, Estimate: 30, Cores: 2},
+	}
+	sc, err := NewScenario(WithJobs("tiny", 4, jobs), WithPolicy("FCFS"), WithEASY(), WithCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Check {
+		t.Fatal("WithCheck not recorded")
+	}
+	if _, err := sc.Run(context.Background()); err != nil {
+		t.Errorf("checked scenario failed: %v", err)
+	}
+}
+
 func TestWithPlatformFixesCores(t *testing.T) {
 	sc, err := NewScenario(WithPlatform("ctc-sp2"), WithPolicy("FCFS"))
 	if err != nil {
