@@ -592,6 +592,29 @@ func BenchmarkMicroSimulatorEASYChecked(b *testing.B) {
 	b.ReportMetric(float64(len(jobs)), "jobs/op")
 }
 
+// BenchmarkOnlineThroughput streams a Lublin trace through the online
+// scheduling subsystem — one submit and one completion event per job,
+// deferred per-instant passes, EASY backfilling on estimates — and
+// reports sustained events/sec. This is the cmd/schedd serving core
+// without the HTTP layer.
+func BenchmarkOnlineThroughput(b *testing.B) {
+	jobs := microJobs(5000)
+	events := 2 * len(jobs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayTrace(256, jobs, ClusterConfig{
+			Policy: sched.F1(), Backfill: sim.BackfillEASY, UseEstimates: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events), "events/op")
+	if perOp := b.Elapsed().Seconds() / float64(b.N); perOp > 0 {
+		b.ReportMetric(float64(events)/perOp, "events/sec")
+	}
+}
+
 func BenchmarkMicroPolicyScore(b *testing.B) {
 	policies := sched.Registry()
 	view := sched.JobView{Runtime: 3600, Cores: 16, Submit: 7200, Wait: 600}

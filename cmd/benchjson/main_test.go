@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/hpcsched/gensched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMicroSimulatorEASY-8   	     295	   3933101 ns/op	      5000 jobs/op	  430409 B/op	     424 allocs/op
+BenchmarkOnlineThroughput 	      45	   5080988 ns/op	     10000 events/op	   1968121 events/sec	 1674351 B/op	      96 allocs/op
+BenchmarkMicroSWFParse-8  	     100	   1200000 ns/op	  95.5 MB/s
+--- BENCH: BenchmarkSomethingVerbose
+    bench_test.go:92: fig6a medians: FCFS=211.73
+PASS
+ok  	github.com/hpcsched/gensched	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	easy := rep.Benchmarks[0]
+	if easy.Name != "MicroSimulatorEASY" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", easy.Name)
+	}
+	if easy.Iterations != 295 || easy.NsPerOp != 3933101 || easy.AllocsPerOp != 424 || easy.BytesPerOp != 430409 {
+		t.Errorf("easy = %+v", easy)
+	}
+	if easy.Metrics["jobs/op"] != 5000 {
+		t.Errorf("custom metric jobs/op = %v", easy.Metrics["jobs/op"])
+	}
+	online := rep.Benchmarks[1]
+	if online.Name != "OnlineThroughput" || online.Metrics["events/sec"] != 1968121 {
+		t.Errorf("online = %+v", online)
+	}
+	swf := rep.Benchmarks[2]
+	if swf.MBPerSec != 95.5 {
+		t.Errorf("MB/s = %v", swf.MBPerSec)
+	}
+	if rep.GoVersion == "" {
+		t.Error("go version missing")
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	github.com/hpcsched/gensched	12.3s",
+		"BenchmarkBroken abc",
+		"--- BENCH: BenchmarkFoo",
+		"goos: linux",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted", line)
+		}
+	}
+}

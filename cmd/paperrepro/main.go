@@ -15,9 +15,11 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -78,15 +80,15 @@ func run(ctx context.Context, cfg experiments.Config, outDir, only string) error
 		}
 		for i, ts := range res {
 			path := filepath.Join(outDir, fmt.Sprintf("fig1%c.csv", 'a'+i))
-			f, err := os.Create(path)
-			if err != nil {
+			if err := writeFile(path, func(w io.Writer) error {
+				fmt.Fprintln(w, "task,score")
+				for ti, s := range ts.Scores {
+					fmt.Fprintf(w, "%d,%g\n", ti, s)
+				}
+				return nil
+			}); err != nil {
 				return err
 			}
-			fmt.Fprintln(f, "task,score")
-			for ti, s := range ts.Scores {
-				fmt.Fprintf(f, "%d,%g\n", ti, s)
-			}
-			f.Close()
 			logf("fig1%c: %d trial scores -> %s (mean line %.4f)", 'a'+i, len(ts.Scores), path, 1.0/float64(len(ts.Scores)))
 		}
 	}
@@ -97,15 +99,15 @@ func run(ctx context.Context, cfg experiments.Config, outDir, only string) error
 			return err
 		}
 		path := filepath.Join(outDir, "fig2.csv")
-		f, err := os.Create(path)
-		if err != nil {
+		if err := writeFile(path, func(w io.Writer) error {
+			fmt.Fprintln(w, "trials,normalized_stddev")
+			for i, c := range res.Counts {
+				fmt.Fprintf(w, "%d,%g\n", c, res.Normalized[i])
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Fprintln(f, "trials,normalized_stddev")
-		for i, c := range res.Counts {
-			fmt.Fprintf(f, "%d,%g\n", c, res.Normalized[i])
-		}
-		f.Close()
 		logf("fig2 -> %s\n%s", path, experiments.FormatFig2(res))
 	}
 
@@ -118,11 +120,13 @@ func run(ctx context.Context, cfg experiments.Config, outDir, only string) error
 		samples, err := trainer.ScoreDistribution(1, trainer.DefaultSpec(),
 			trainer.TrialConfig{Trials: min(cfg.Trials, 1024)}, cfg.Seed)
 		if err == nil && len(samples) > 0 {
-			// Also persist a small sample of the training distribution.
-			f, err := os.Create(filepath.Join(outDir, "score-distribution-sample.csv"))
-			if err == nil {
-				_ = trainer.WriteScoreCSV(f, samples)
-				f.Close()
+			// Also persist a small sample of the training distribution;
+			// best-effort, but a failure is reported, not swallowed.
+			samplePath := filepath.Join(outDir, "score-distribution-sample.csv")
+			if err := writeFile(samplePath, func(w io.Writer) error {
+				return trainer.WriteScoreCSV(w, samples)
+			}); err != nil {
+				logf("warning: %v", err)
 			}
 		}
 		logf("table3:\n%s", experiments.FormatTable3(res))
@@ -132,14 +136,14 @@ func run(ctx context.Context, cfg experiments.Config, outDir, only string) error
 		}
 		// Persist the learned policies as parseable strings: each line
 		// loads back via `schedtest -custom "<line>"`.
-		pf, err := os.Create(filepath.Join(outDir, "learned-policies.txt"))
-		if err != nil {
+		if err := writeFile(filepath.Join(outDir, "learned-policies.txt"), func(w io.Writer) error {
+			for _, fn := range learned {
+				fmt.Fprintln(w, fn.Compact())
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
-		for _, fn := range learned {
-			fmt.Fprintln(pf, fn.Compact())
-		}
-		pf.Close()
 		logf("learned policies -> %s", filepath.Join(outDir, "learned-policies.txt"))
 	}
 
@@ -155,20 +159,20 @@ func run(ctx context.Context, cfg experiments.Config, outDir, only string) error
 			return err
 		}
 		path := filepath.Join(outDir, "fig3.csv")
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(f, "policy,panel,x,y,z")
-		for _, h := range maps {
-			panel := h.XLabel + "|" + h.YLabel
-			for yi, y := range h.Ys {
-				for xi, x := range h.Xs {
-					fmt.Fprintf(f, "%s,%s,%g,%g,%g\n", h.Policy, panel, x, y, h.Z[yi][xi])
+		if err := writeFile(path, func(w io.Writer) error {
+			fmt.Fprintln(w, "policy,panel,x,y,z")
+			for _, h := range maps {
+				panel := h.XLabel + "|" + h.YLabel
+				for yi, y := range h.Ys {
+					for xi, x := range h.Xs {
+						fmt.Fprintf(w, "%s,%s,%g,%g,%g\n", h.Policy, panel, x, y, h.Z[yi][xi])
+					}
 				}
 			}
+			return nil
+		}); err != nil {
+			return err
 		}
-		f.Close()
 		logf("fig3: %d panels -> %s", len(maps), path)
 	}
 
@@ -218,15 +222,9 @@ func run(ctx context.Context, cfg experiments.Config, outDir, only string) error
 				return err
 			}
 			path := filepath.Join(outDir, esc.ID+".csv")
-			f, err := os.Create(path)
-			if err != nil {
+			if err := writeFile(path, res.WriteCSV); err != nil {
 				return err
 			}
-			if err := res.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			f.Close()
 			logf("%s (%s) -> %s", esc.ID, esc.Name, path)
 			logf("%s", res.ArtifactReport())
 			row := experiments.Table4Row{Label: esc.Name}
@@ -239,5 +237,29 @@ func run(ctx context.Context, cfg experiments.Config, outDir, only string) error
 	}
 
 	logf("paperrepro: done in %v", time.Since(start).Round(time.Second))
+	// The deferred close backstops early returns; on success the explicit
+	// close surfaces any write-out error instead of dropping it.
+	return report.Close()
+}
+
+// writeFile writes one report artifact, surfacing every write and close
+// error — a silently truncated CSV is worse than a crash.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
 	return nil
 }

@@ -1,0 +1,166 @@
+// Command schedd serves the online scheduling subsystem over HTTP/JSON: a
+// scheduler daemon that accepts job submissions and completion reports as
+// they happen, answers status and metrics queries, and hot-swaps the
+// queue policy without restarting — the paper's learned policies deployed
+// the way a production resource manager would deploy them.
+//
+// # API
+//
+//	POST /v1/submit    {"id":1,"cores":4,"runtime":120,"estimate":150,"now":7.5}
+//	POST /v1/complete  {"id":1,"now":127.5}
+//	POST /v1/advance   {"now":200}
+//	POST /v1/policy    {"name":"F1"}  or  {"name":"L1","expr":"log10(r)*n + 870*log10(s)"}
+//	GET  /v1/status
+//	GET  /v1/metrics
+//	GET  /healthz
+//
+// Mutating endpoints reply {"now":..,"started":[{"id":..,"time":..,"wait":..,
+// "backfilled":..},...]} — the jobs the request's scheduling pass started —
+// or {"error":"..."} with a 4xx status. The clock is logical by default:
+// each request carries "now" in seconds (omitted = the current clock) and
+// time never goes backward. With -clock real the daemon stamps requests
+// with wall time since boot instead and "now" is ignored.
+//
+// schedd shuts down gracefully on SIGINT/SIGTERM: in-flight requests are
+// drained before the process exits.
+//
+// Usage:
+//
+//	schedd -addr :8080 -cores 256 -policy FCFS -backfill easy -estimates
+//	schedtest -daemon http://localhost:8080 -cores 256 -days 1   # load generator
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	gensched "github.com/hpcsched/gensched"
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cores     = flag.Int("cores", 256, "machine size")
+		policy    = flag.String("policy", "FCFS", "initial queue policy (name, or an expression like 'log10(r)*n+870*log10(s)')")
+		backfill  = flag.String("backfill", "easy", "backfilling: none | easy | conservative")
+		estimates = flag.Bool("estimates", false, "schedule on user estimates instead of submitted runtimes")
+		tau       = flag.Float64("tau", 0, "bounded-slowdown constant (0 = default 10s)")
+		clock     = flag.String("clock", "logical", "clock source: logical (requests carry 'now') | real (wall time)")
+		check     = flag.Bool("check", false, "enable runtime invariant checking (development)")
+	)
+	flag.Parse()
+	if err := run(*addr, *cores, *policy, *backfill, *estimates, *tau, *clock, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cores int, policy, backfill string, estimates bool, tau float64, clock string, check bool) error {
+	p, err := resolvePolicy(policy, "")
+	if err != nil {
+		return err
+	}
+	bf, err := parseBackfill(backfill)
+	if err != nil {
+		return err
+	}
+	var realClock bool
+	switch clock {
+	case "logical":
+	case "real":
+		realClock = true
+	default:
+		return fmt.Errorf("unknown clock source %q", clock)
+	}
+	s, err := online.New(cores, online.Options{
+		Policy:       p,
+		UseEstimates: estimates,
+		Backfill:     bf,
+		Tau:          tau,
+		Check:        check,
+	})
+	if err != nil {
+		return err
+	}
+	srv := newServer(s, realClock)
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "schedd: serving %d cores under %s+%s on %s (clock: %s)\n",
+		cores, p.Name(), bf, l.Addr(), clock)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, l, srv.handler())
+}
+
+// serve runs the HTTP server until ctx is cancelled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests drain
+// (up to a 10s grace period), and only then does serve return.
+func serve(ctx context.Context, l net.Listener, h http.Handler) error {
+	hs := &http.Server{
+		Handler:     h,
+		ReadTimeout: 30 * time.Second,
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			return err
+		}
+		<-errc // always http.ErrServerClosed after Shutdown
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// resolvePolicy resolves a policy by registry name, falling back to
+// parsing it as a scoring expression; an explicit expr always parses.
+func resolvePolicy(name, expr string) (sched.Policy, error) {
+	if expr != "" {
+		if name == "" {
+			name = "CUSTOM"
+		}
+		return sched.ParseExpr(name, expr)
+	}
+	if p, err := sched.ByName(name); err == nil {
+		return p, nil
+	}
+	if p, err := sched.ParseExpr("CUSTOM", name); err == nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (not a registry name, not a parsable expression)", name)
+}
+
+func parseBackfill(s string) (sim.BackfillMode, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return gensched.BackfillNone, nil
+	case "easy", "aggressive":
+		return gensched.BackfillEASY, nil
+	case "conservative":
+		return gensched.BackfillConservative, nil
+	}
+	return 0, fmt.Errorf("unknown backfill mode %q", s)
+}

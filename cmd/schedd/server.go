@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// server wraps one online.Scheduler behind HTTP handlers. One mutex
+// serializes every scheduler interaction; responses are rendered into
+// pooled buffers while the lock is held (the scheduler's start slices are
+// scratch) and written after it is released, so a slow client never
+// stalls the scheduling core.
+//
+// The steady-state hot path allocates only what request decoding needs:
+// scheduler operations are allocation-free and the response bytes come
+// from the pool.
+type server struct {
+	mu        sync.Mutex
+	s         *online.Scheduler
+	realClock bool
+	epoch     time.Time
+
+	bufs sync.Pool // *[]byte response buffers
+}
+
+func newServer(s *online.Scheduler, realClock bool) *server {
+	return &server{
+		s:         s,
+		realClock: realClock,
+		epoch:     time.Now(),
+		bufs:      sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }},
+	}
+}
+
+func (sv *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", sv.post(sv.submit))
+	mux.HandleFunc("/v1/complete", sv.post(sv.complete))
+	mux.HandleFunc("/v1/advance", sv.post(sv.advance))
+	mux.HandleFunc("/v1/policy", sv.post(sv.policy))
+	mux.HandleFunc("/v1/status", sv.get(sv.status))
+	mux.HandleFunc("/v1/metrics", sv.get(sv.metrics))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// request is the body every mutating endpoint accepts; endpoints read the
+// fields they need.
+type request struct {
+	ID       int     `json:"id"`
+	Cores    int     `json:"cores"`
+	Runtime  float64 `json:"runtime"`
+	Estimate float64 `json:"estimate"`
+	Submit   float64 `json:"submit"`
+	Now      float64 `json:"now"`
+	Name     string  `json:"name"`
+	Expr     string  `json:"expr"`
+}
+
+func (sv *server) post(h func(http.ResponseWriter, *request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if err := r.Context().Err(); err != nil {
+			// Shutting down or the client is gone: say so rather than
+			// letting net/http emit an empty 200 for an unapplied mutation.
+			writeErr(w, http.StatusServiceUnavailable, "request cancelled before processing")
+			return
+		}
+		var req request
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if err := h(w, &req); err != nil {
+			writeErr(w, http.StatusConflict, err.Error())
+		}
+	}
+}
+
+func (sv *server) get(h func(http.ResponseWriter)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		h(w)
+	}
+}
+
+// now resolves the effective clock for a request: wall time since boot
+// under -clock real, the request's "now" (never backward; omitted means
+// "at the current clock") under the logical clock.
+func (sv *server) now(req *request) float64 {
+	if sv.realClock {
+		return time.Since(sv.epoch).Seconds()
+	}
+	n := req.Now
+	if n == 0 && req.Submit > 0 {
+		n = req.Submit
+	}
+	return n
+}
+
+// mutate runs one scheduler operation under the lock and renders its
+// start notifications — the shared body of every mutating endpoint. The
+// op must leave the clock untouched when it fails (the online composite
+// operations guarantee this), so a rejected request can never wedge the
+// stream by stranding the clock in the future.
+func (sv *server) mutate(w http.ResponseWriter, op func() ([]online.Start, error)) error {
+	bp := sv.bufs.Get().(*[]byte)
+	buf := append((*bp)[:0], `{"started":[`...)
+	sv.mu.Lock()
+	starts, err := op()
+	if err == nil {
+		n := 0
+		buf = appendStarts(buf, &n, starts)
+		buf = append(buf, `],"now":`...)
+		buf = strconv.AppendFloat(buf, sv.s.Clock(), 'g', -1, 64)
+		buf = append(buf, '}', '\n')
+	}
+	sv.mu.Unlock()
+	if err == nil {
+		writeJSON(w, buf)
+	}
+	*bp = buf
+	sv.bufs.Put(bp)
+	return err
+}
+
+func (sv *server) submit(w http.ResponseWriter, req *request) error {
+	job := workload.Job{
+		ID:       req.ID,
+		Submit:   req.Submit,
+		Runtime:  req.Runtime,
+		Estimate: req.Estimate,
+		Cores:    req.Cores,
+	}
+	return sv.mutate(w, func() ([]online.Start, error) {
+		return sv.s.SubmitAt(sv.now(req), job)
+	})
+}
+
+func (sv *server) complete(w http.ResponseWriter, req *request) error {
+	return sv.mutate(w, func() ([]online.Start, error) {
+		return sv.s.CompleteAt(sv.now(req), req.ID)
+	})
+}
+
+func (sv *server) advance(w http.ResponseWriter, req *request) error {
+	return sv.mutate(w, func() ([]online.Start, error) {
+		t := sv.now(req)
+		if c := sv.s.Clock(); t < c {
+			t = c // the logical clock never moves backward
+		}
+		return sv.s.AdvanceTo(t)
+	})
+}
+
+func (sv *server) policy(w http.ResponseWriter, req *request) error {
+	p, err := resolvePolicy(req.Name, req.Expr)
+	if err != nil {
+		return err
+	}
+	sv.mu.Lock()
+	err = sv.s.SetPolicy(p)
+	sv.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	writeJSON(w, []byte(`{"policy":`+strconv.Quote(p.Name())+"}\n"))
+	return nil
+}
+
+// status and metrics are occasional diagnostics, not the hot path, so
+// they go through encoding/json on tagged structs — no hand-maintained
+// field lists to drift from online.Status/Metrics.
+
+func (sv *server) status(w http.ResponseWriter) {
+	sv.mu.Lock()
+	st := sv.s.Status()
+	err := sv.s.Err()
+	sv.mu.Unlock()
+	resp := struct {
+		Now                float64 `json:"now"`
+		Cores              int     `json:"cores"`
+		FreeCores          int     `json:"free_cores"`
+		Queued             int     `json:"queued"`
+		Running            int     `json:"running"`
+		Submitted          int     `json:"submitted"`
+		Completed          int     `json:"completed"`
+		Policy             string  `json:"policy"`
+		InvariantViolation string  `json:"invariant_violation,omitempty"`
+	}{
+		Now: st.Now, Cores: st.Cores, FreeCores: st.FreeCores,
+		Queued: st.Queued, Running: st.Running,
+		Submitted: st.Submitted, Completed: st.Completed, Policy: st.Policy,
+	}
+	if err != nil {
+		resp.InvariantViolation = err.Error()
+	}
+	marshalJSON(w, resp)
+}
+
+func (sv *server) metrics(w http.ResponseWriter) {
+	sv.mu.Lock()
+	m := sv.s.Metrics()
+	sv.mu.Unlock()
+	marshalJSON(w, struct {
+		Submitted   int     `json:"submitted"`
+		Completed   int     `json:"completed"`
+		Backfilled  int     `json:"backfilled"`
+		MaxQueueLen int     `json:"max_queue_len"`
+		AveBsld     float64 `json:"ave_bsld"`
+		MeanWait    float64 `json:"mean_wait"`
+		MaxBSLD     float64 `json:"max_bsld"`
+		MaxWait     float64 `json:"max_wait"`
+		Utilization float64 `json:"utilization"`
+	}{
+		Submitted: m.Submitted, Completed: m.Completed, Backfilled: m.Backfilled,
+		MaxQueueLen: m.MaxQueueLen, AveBsld: m.AveBsld, MeanWait: m.MeanWait,
+		MaxBSLD: m.MaxBSLD, MaxWait: m.MaxWait, Utilization: m.Utilization,
+	})
+}
+
+// marshalJSON renders a cold-path response through encoding/json.
+func marshalJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, append(buf, '\n'))
+}
+
+// appendStarts renders start notifications into the response buffer.
+func appendStarts(buf []byte, n *int, starts []online.Start) []byte {
+	for _, st := range starts {
+		if *n > 0 {
+			buf = append(buf, ',')
+		}
+		*n++
+		buf = append(buf, `{"id":`...)
+		buf = strconv.AppendInt(buf, int64(st.ID), 10)
+		buf = append(buf, `,"time":`...)
+		buf = strconv.AppendFloat(buf, st.Time, 'g', -1, 64)
+		buf = append(buf, `,"wait":`...)
+		buf = strconv.AppendFloat(buf, st.Wait, 'g', -1, 64)
+		buf = append(buf, `,"backfilled":`...)
+		buf = strconv.AppendBool(buf, st.Backfilled)
+		buf = append(buf, '}')
+	}
+	return buf
+}
+
+func writeJSON(w http.ResponseWriter, buf []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write([]byte(`{"error":` + strconv.Quote(msg) + "}\n"))
+}

@@ -1,0 +1,137 @@
+package main
+
+// Load-generator mode (-daemon): instead of running a simulation grid
+// in-process, schedtest streams the generated (or SWF-loaded) workload at
+// a running schedd daemon over HTTP as fast as the daemon accepts it —
+// submitting each job at its logical arrival instant and reporting each
+// completion when the job's runtime has elapsed after the start the
+// daemon announced — then reports sustained throughput and the daemon's
+// own final metrics.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/hpcsched/gensched/internal/schedcore"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+type startedReply struct {
+	Error   string `json:"error"`
+	Started []struct {
+		ID   int     `json:"id"`
+		Time float64 `json:"time"`
+	} `json:"started"`
+}
+
+// runLoadgen streams jobs at the daemon and prints a throughput report.
+func runLoadgen(ctx context.Context, baseURL string, jobs []workload.Job) error {
+	if len(jobs) == 0 {
+		return fmt.Errorf("loadgen: no jobs to stream")
+	}
+	runtimeOf := make(map[int]float64, len(jobs))
+	var h schedcore.EventHeap
+	for i := range jobs {
+		if _, dup := runtimeOf[jobs[i].ID]; dup {
+			return fmt.Errorf("loadgen: duplicate job ID %d", jobs[i].ID)
+		}
+		runtimeOf[jobs[i].ID] = jobs[i].Runtime
+		h.Push(schedcore.Event{Time: jobs[i].Submit, Kind: schedcore.KindArrival, Ref: i})
+	}
+
+	client := &http.Client{}
+	var buf bytes.Buffer
+	events := 0
+	post := func(path string, body func(*bytes.Buffer)) (*startedReply, error) {
+		buf.Reset()
+		body(&buf)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, &buf)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var r startedReply
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			return nil, fmt.Errorf("loadgen: decoding %s reply: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("loadgen: %s: %s (%d)", path, r.Error, resp.StatusCode)
+		}
+		return &r, nil
+	}
+	schedule := func(r *startedReply) {
+		for _, st := range r.Started {
+			h.Push(schedcore.Event{
+				Time: st.Time + runtimeOf[st.ID],
+				Kind: schedcore.KindCompletion,
+				Ref:  st.ID,
+			})
+		}
+	}
+
+	fmt.Printf("loadgen: streaming %d jobs at %s\n", len(jobs), baseURL)
+	wall := time.Now()
+	for h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ev := h.Pop()
+		var r *startedReply
+		var err error
+		switch ev.Kind {
+		case schedcore.KindCompletion:
+			r, err = post("/v1/complete", func(b *bytes.Buffer) {
+				b.WriteString(`{"id":`)
+				b.WriteString(strconv.Itoa(ev.Ref))
+				b.WriteString(`,"now":`)
+				b.WriteString(strconv.FormatFloat(ev.Time, 'g', -1, 64))
+				b.WriteString("}")
+			})
+		case schedcore.KindArrival:
+			j := jobs[ev.Ref]
+			r, err = post("/v1/submit", func(b *bytes.Buffer) {
+				fmt.Fprintf(b, `{"id":%d,"cores":%d,"runtime":%s,"estimate":%s,"submit":%s,"now":%s}`,
+					j.ID, j.Cores,
+					strconv.FormatFloat(j.Runtime, 'g', -1, 64),
+					strconv.FormatFloat(j.Estimate, 'g', -1, 64),
+					strconv.FormatFloat(j.Submit, 'g', -1, 64),
+					strconv.FormatFloat(j.Submit, 'g', -1, 64))
+			})
+		}
+		if err != nil {
+			return err
+		}
+		events++
+		schedule(r)
+	}
+	elapsed := time.Since(wall)
+	fmt.Printf("loadgen: %d events in %v (%.0f events/sec over HTTP)\n",
+		events, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds())
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("daemon metrics: %s", raw)
+	return nil
+}

@@ -15,6 +15,14 @@
 //	schedtest -cores 256 -sequences 10 -days 15
 //	schedtest -platform curie -estimates -backfill easy
 //	schedtest -swf trace.swf -policies FCFS,SPT,F1
+//
+// With -daemon it becomes a load generator instead: the workload (one
+// continuous -days trace from the Lublin model, or the -swf file) is
+// streamed at a running schedd daemon over HTTP — submits at arrival
+// instants, completions as the daemon announces starts — and the
+// sustained event throughput plus the daemon's final metrics are printed:
+//
+//	schedtest -daemon http://localhost:8080 -cores 256 -days 1
 package main
 
 import (
@@ -26,6 +34,9 @@ import (
 	"strings"
 
 	gensched "github.com/hpcsched/gensched"
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/tsafrir"
+	"github.com/hpcsched/gensched/internal/workload"
 )
 
 func main() {
@@ -42,15 +53,61 @@ func main() {
 		backfill  = flag.String("backfill", "none", "backfilling: none | easy | conservative")
 		seed      = flag.Uint64("seed", 20171112, "random seed")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		daemon    = flag.String("daemon", "", "load-generator mode: stream the workload at this schedd base URL")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *daemon != "" {
+		jobs, err := loadgenJobs(*cores, *days, *load, *swf, *estimates, *seed)
+		if err == nil {
+			err = runLoadgen(ctx, strings.TrimRight(*daemon, "/"), jobs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedtest:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(ctx, *cores, *sequences, *days, *load, *platform, *swf, *policies, *custom,
 		*estimates, *backfill, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "schedtest:", err)
 		os.Exit(1)
 	}
+}
+
+// loadgenJobs builds the stream for -daemon mode: the -swf trace when
+// given, otherwise one continuous Lublin trace of the requested length.
+func loadgenJobs(cores int, days, load float64, swf string, estimates bool, seed uint64) ([]workload.Job, error) {
+	if swf != "" {
+		f, err := os.Open(swf)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := workload.ParseSWF(f)
+		if err != nil {
+			return nil, err
+		}
+		if fixed := tr.Repair(); fixed > 0 {
+			fmt.Fprintf(os.Stderr, "schedtest: repaired %d jobs (oversized or missing estimates)\n", fixed)
+		}
+		return tr.Jobs, nil
+	}
+	gen, err := lublin.NewGenerator(lublin.DefaultParams(cores), cores, seed)
+	if err != nil {
+		return nil, err
+	}
+	jobs := gen.Until(days * 24 * 3600)
+	if load > 0 {
+		lublin.CalibrateLoad(jobs, cores, load)
+	}
+	if estimates {
+		if err := tsafrir.Apply(tsafrir.Default(), jobs, seed+1); err != nil {
+			return nil, err
+		}
+	}
+	return jobs, nil
 }
 
 func run(ctx context.Context, cores, sequences int, days, load float64, platform, swf, policyList, custom string,

@@ -54,16 +54,25 @@ func run(platform string, cores int, days, load float64, seed uint64, estimates 
 		return err
 	}
 	w := os.Stdout
+	var f *os.File
 	if out != "" {
-		f, err := os.Create(out)
+		f, err = os.Create(out)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := workload.WriteSWF(w, trace); err != nil {
+		if f != nil {
+			f.Close()
+		}
 		return err
+	}
+	if f != nil {
+		// A close error on the written trace is data loss, not noise.
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	st := trace.ComputeStats()
 	fmt.Fprintf(os.Stderr, "tracegen: %d jobs, %.1f days, util %.1f%%, mean size %.1f cores\n",

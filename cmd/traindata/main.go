@@ -75,18 +75,26 @@ func main() {
 		os.Exit(1)
 	}
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "traindata:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := trainer.WriteScoreCSV(w, samples); err != nil {
 		fmt.Fprintln(os.Stderr, "traindata:", err)
 		os.Exit(1)
+	}
+	if f != nil {
+		// os.Exit skips deferred closes, and an unchecked close on the
+		// written CSV is silent data loss — close explicitly.
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "traindata:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "traindata: %d samples (%d tuples x |Q|=%d, %d trials each) in %v\n",
 		len(samples), *tuples, *qsize, *trials, time.Since(start).Round(time.Millisecond))

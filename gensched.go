@@ -39,8 +39,13 @@
 // The package is the public facade; the subsystems live in internal/
 // packages and are re-exported here as needed:
 //
+//   - the scheduling core shared by both engines: event heap, queue and
+//     running-set orders, backfilling, invariant checks
+//     (internal/schedcore),
 //   - a discrete-event cluster simulator with EASY and conservative
 //     backfilling (internal/sim),
+//   - the incremental online scheduler behind the Cluster wrapper and
+//     the cmd/schedd daemon (internal/online),
 //   - the policy zoo: FCFS, SPT, LPT, SAF, WFP3, UNICEF, F1–F4, and
 //     SLURM-style multifactor (internal/sched),
 //   - the Lublin–Feitelson workload model and Tsafrir estimate model

@@ -1,0 +1,68 @@
+package online_test
+
+import (
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func benchJobs(b *testing.B, n int) []workload.Job {
+	b.Helper()
+	gen, err := lublin.NewGenerator(lublin.DefaultParams(256), 256, 4242)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen.Jobs(n)
+}
+
+// BenchmarkReplayEASY measures full-stream replay throughput (one submit
+// event plus one completion event per job) under EASY backfilling — the
+// configuration cmd/schedd serves.
+func BenchmarkReplayEASY(b *testing.B) {
+	jobs := benchJobs(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := online.Replay(256, jobs, online.ReplayOptions{
+			Policy: sched.F1(), Backfill: sim.BackfillEASY, UseEstimates: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*len(jobs)), "events/op")
+}
+
+// BenchmarkSchedulerSteadyState measures the daemon's hot path — advance,
+// submit, flush, advance, complete, flush — on a warm scheduler. The
+// allocs/op column is the zero-allocation contract.
+func BenchmarkSchedulerSteadyState(b *testing.B) {
+	s, err := online.New(64, online.Options{Policy: sched.F1(), Backfill: sim.BackfillEASY})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock++
+		if _, err := s.AdvanceTo(clock); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Submit(workload.Job{ID: 1, Submit: clock, Runtime: 100, Estimate: 120, Cores: 8}); err != nil {
+			b.Fatal(err)
+		}
+		s.Flush()
+		clock++
+		if _, err := s.AdvanceTo(clock); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Complete(1); err != nil {
+			b.Fatal(err)
+		}
+		s.Flush()
+	}
+	b.ReportMetric(2, "events/op")
+}

@@ -1,0 +1,226 @@
+package online_test
+
+// The online differential harness: streaming a workload through the
+// incremental Scheduler — arrivals, externally reported completions, and
+// deferred per-instant passes — must produce start times, per-job stats
+// and aggregate metrics bit-identical to the batch engine (internal/sim)
+// and the reference oracle (internal/simref) on the adversarial simtest
+// corpus, across every backfill mode, with actual runtimes and user
+// estimates, and including mid-stream policy hot-swaps.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/simref"
+	"github.com/hpcsched/gensched/internal/simtest"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// compareResults requires two engine Results to be bit-identical in every
+// per-job and aggregate field the engines compute.
+func compareResults(got, want *sim.Result) error {
+	if len(got.Stats) != len(want.Stats) {
+		return fmt.Errorf("stats length %d != %d", len(got.Stats), len(want.Stats))
+	}
+	for i := range got.Stats {
+		g, w := got.Stats[i], want.Stats[i]
+		if g.Start != w.Start || g.Finish != w.Finish || g.Wait != w.Wait ||
+			g.BSLD != w.BSLD || g.Backfilled != w.Backfilled {
+			return fmt.Errorf("job %d (input %d): got (start=%v finish=%v wait=%v bsld=%v bf=%v), want (start=%v finish=%v wait=%v bsld=%v bf=%v)",
+				g.Job.ID, i, g.Start, g.Finish, g.Wait, g.BSLD, g.Backfilled,
+				w.Start, w.Finish, w.Wait, w.BSLD, w.Backfilled)
+		}
+	}
+	type agg struct {
+		name     string
+		got, wnt float64
+	}
+	for _, a := range []agg{
+		{"AVEbsld", got.AVEbsld, want.AVEbsld},
+		{"MedianBSLD", got.MedianBSLD, want.MedianBSLD},
+		{"P95BSLD", got.P95BSLD, want.P95BSLD},
+		{"MaxBSLD", got.MaxBSLD, want.MaxBSLD},
+		{"MeanWait", got.MeanWait, want.MeanWait},
+		{"P95Wait", got.P95Wait, want.P95Wait},
+		{"MaxWait", got.MaxWait, want.MaxWait},
+		{"Makespan", got.Makespan, want.Makespan},
+		{"Utilization", got.Utilization, want.Utilization},
+	} {
+		if a.got != a.wnt {
+			return fmt.Errorf("%s: %v != %v", a.name, a.got, a.wnt)
+		}
+	}
+	if got.MaxQueueLen != want.MaxQueueLen {
+		return fmt.Errorf("MaxQueueLen: %d != %d", got.MaxQueueLen, want.MaxQueueLen)
+	}
+	if got.Backfilled != want.Backfilled {
+		return fmt.Errorf("Backfilled: %d != %d", got.Backfilled, want.Backfilled)
+	}
+	return nil
+}
+
+// differential replays the stream online and requires bit-identity with
+// both the batch engine and the simref oracle.
+func differential(cores int, jobs []workload.Job, opt online.ReplayOptions, batchPolicy sched.Policy) error {
+	opt.Check = true
+	res, err := online.Replay(cores, jobs, opt)
+	if err != nil {
+		return fmt.Errorf("online: %w", err)
+	}
+	batch, err := sim.Run(sim.Platform{Cores: cores}, jobs, sim.Options{
+		Policy:         batchPolicy,
+		UseEstimates:   opt.UseEstimates,
+		Backfill:       opt.Backfill,
+		BackfillOrder:  opt.BackfillOrder,
+		KillAtEstimate: opt.KillAtEstimate,
+		Tau:            opt.Tau,
+		Check:          true,
+	})
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	if err := compareResults(res, batch); err != nil {
+		return fmt.Errorf("online diverged from batch (%s, estimates=%v): %w",
+			opt.Backfill, opt.UseEstimates, err)
+	}
+	ref, err := simref.Run(cores, jobs, simref.Options{
+		Policy:         batchPolicy,
+		BackfillOrder:  opt.BackfillOrder,
+		Mode:           simtest.RefMode(opt.Backfill),
+		UseEstimates:   opt.UseEstimates,
+		KillAtEstimate: opt.KillAtEstimate,
+	})
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	if err := simref.Compare(simtest.Placements(res), ref); err != nil {
+		return fmt.Errorf("online diverged from oracle (%s, estimates=%v): %w",
+			opt.Backfill, opt.UseEstimates, err)
+	}
+	return nil
+}
+
+// TestOnlineDifferential streams ≥200 randomized adversarial workloads
+// through the incremental scheduler under every backfill mode, with
+// actual runtimes and user estimates, static and time-varying policies,
+// EASY candidate-order variants and KillAtEstimate, requiring
+// bit-identical results against both references.
+func TestOnlineDifferential(t *testing.T) {
+	workloads := 240
+	if testing.Short() {
+		workloads = 40
+	}
+	policies := []sched.Policy{sched.FCFS(), sched.SPT(), sched.F1(), sched.WFP3(), sched.UNICEF(), sched.SAF()}
+	root := dist.New(20260730)
+	for wi := 0; wi < workloads; wi++ {
+		rng := root.Split(uint64(wi))
+		n := 20 + rng.IntN(41)    // 20..60 jobs
+		cores := 4 + rng.IntN(29) // 4..32 cores
+		jobs := simtest.RandomJobs(rng, n, cores)
+		policy := policies[wi%len(policies)]
+		var order sched.Policy
+		if wi%5 == 0 {
+			order = sched.SPT()
+		}
+		kill := wi%7 == 0
+		for _, mode := range simtest.Modes {
+			for _, est := range []bool{false, true} {
+				err := differential(cores, jobs, online.ReplayOptions{
+					Policy:         policy,
+					Backfill:       mode,
+					BackfillOrder:  order,
+					UseEstimates:   est,
+					KillAtEstimate: kill,
+				}, policy)
+				if err != nil {
+					t.Fatalf("workload %d (%s, n=%d, cores=%d): %v", wi, policy.Name(), n, cores, err)
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineSwapDifferential hot-swaps the policy mid-stream and validates
+// against a batch re-run from the swap point: the batch reference runs
+// under simtest.SwitchPolicy, which ranks with the old policy before the
+// swap instant and the new one after it — exactly the schedule a batch
+// engine restarted at the swap point from the online scheduler's state
+// would produce. Workloads are drawn on the integer time grid so the
+// half-integer swap instants are unambiguous in floating point; a third of
+// the runs chain two swaps.
+func TestOnlineSwapDifferential(t *testing.T) {
+	workloads := 90
+	if testing.Short() {
+		workloads = 18
+	}
+	pairs := [][2]sched.Policy{
+		{sched.FCFS(), sched.SPT()},
+		{sched.SPT(), sched.F1()},
+		{sched.F1(), sched.SAF()},
+	}
+	root := dist.New(777)
+	for wi := 0; wi < workloads; wi++ {
+		rng := root.Split(uint64(wi))
+		n := 25 + rng.IntN(36)
+		cores := 4 + rng.IntN(13)
+		jobs := simtest.IntegerJobs(rng, n, cores)
+		before, after := pairs[wi%len(pairs)][0], pairs[wi%len(pairs)][1]
+
+		// Swap in the thick of the stream: between the submits of the
+		// middle and the last job, on the half-integer grid.
+		lo, hi := jobs[n/3].Submit, jobs[n-1].Submit
+		at := math.Floor(lo+(hi-lo)*rng.Float64()) + 0.5
+		swaps := []online.Swap{{At: at, Policy: after}}
+		reference := simtest.SwitchPolicy(at, before, after)
+		if wi%3 == 0 && hi > at+1 {
+			// Chain a second swap, back to a third policy.
+			third := pairs[(wi+1)%len(pairs)][1]
+			at2 := math.Floor(at+(hi-at)*rng.Float64()) + 1.5
+			swaps = append(swaps, online.Swap{At: at2, Policy: third})
+			reference = simtest.SwitchPolicy(at2, reference, third)
+		}
+		for _, mode := range simtest.Modes {
+			for _, est := range []bool{false, true} {
+				err := differential(cores, jobs, online.ReplayOptions{
+					Policy:       before,
+					Backfill:     mode,
+					UseEstimates: est,
+					Swaps:        swaps,
+				}, reference)
+				if err != nil {
+					t.Fatalf("workload %d (%s->%s at %g, n=%d, cores=%d): %v",
+						wi, before.Name(), after.Name(), at, n, cores, err)
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineSwapChangesSchedule guards the swap test against vacuity: the
+// hot-swap must actually alter the schedule relative to never swapping
+// (on a workload where the policies disagree).
+func TestOnlineSwapChangesSchedule(t *testing.T) {
+	rng := dist.New(4242)
+	jobs := simtest.IntegerJobs(rng, 60, 4)
+	at := jobs[20].Submit + 0.5
+	swapped, err := online.Replay(4, jobs, online.ReplayOptions{
+		Policy: sched.FCFS(),
+		Swaps:  []online.Swap{{At: at, Policy: sched.SPT()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := online.Replay(4, jobs, online.ReplayOptions{Policy: sched.FCFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compareResults(swapped, plain) == nil {
+		t.Error("policy hot-swap produced a schedule identical to never swapping; swap tests are vacuous")
+	}
+}

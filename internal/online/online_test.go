@@ -1,0 +1,252 @@
+package online_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func job(id int, submit, runtime float64, cores int) workload.Job {
+	return workload.Job{ID: id, Submit: submit, Runtime: runtime, Estimate: runtime, Cores: cores}
+}
+
+func newFCFS(t *testing.T, cores int) *online.Scheduler {
+	t.Helper()
+	s, err := online.New(cores, online.Options{Policy: sched.FCFS(), Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := online.New(4, online.Options{}); err != online.ErrNoPolicy {
+		t.Errorf("no policy: err = %v", err)
+	}
+	if _, err := online.New(0, online.Options{Policy: sched.FCFS()}); err != online.ErrNoCores {
+		t.Errorf("no cores: err = %v", err)
+	}
+}
+
+func TestSubmitStartCompleteLifecycle(t *testing.T) {
+	s := newFCFS(t, 4)
+	if err := s.Submit(job(1, 0, 100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(job(2, 0, 50, 3)); err != nil {
+		t.Fatal(err)
+	}
+	started := s.Flush()
+	if len(started) != 1 || started[0].ID != 1 || started[0].Time != 0 {
+		t.Fatalf("flush at t=0 started %+v, want job 1 at 0", started)
+	}
+	st := s.Status()
+	if st.Running != 1 || st.Queued != 1 || st.FreeCores != 1 {
+		t.Fatalf("status after first pass: %+v", st)
+	}
+	if _, err := s.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(1); err != nil {
+		t.Fatal(err)
+	}
+	started = s.Flush()
+	if len(started) != 1 || started[0].ID != 2 || started[0].Time != 100 || started[0].Wait != 100 {
+		t.Fatalf("flush at t=100 started %+v, want job 2 with wait 100", started)
+	}
+	if _, err := s.AdvanceTo(150); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(2); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	m := s.Metrics()
+	if m.Completed != 2 || m.Submitted != 2 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	// Job 1: wait 0 → bsld 1. Job 2: wait 100, runtime 50 → (100+50)/50 = 3.
+	if m.AveBsld != 2 {
+		t.Errorf("AveBsld = %v, want 2", m.AveBsld)
+	}
+	if m.MeanWait != 50 || m.MaxWait != 100 || m.MaxBSLD != 3 {
+		t.Errorf("wait metrics: %+v", m)
+	}
+	if err := s.Err(); err != nil {
+		t.Errorf("invariant check tripped: %v", err)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	s := newFCFS(t, 4)
+	if _, err := s.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(job(1, 20, 5, 1)); err == nil || !strings.Contains(err.Error(), "after the clock") {
+		t.Errorf("future submit: err = %v", err)
+	}
+	if err := s.Submit(job(1, 10, 5, 8)); err == nil {
+		t.Error("oversized job accepted")
+	}
+	if err := s.Submit(job(1, 10, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(job(1, 10, 5, 1)); err == nil || !strings.Contains(err.Error(), "already active") {
+		t.Errorf("duplicate ID: err = %v", err)
+	}
+}
+
+func TestSubmitStampsZeroSubmitTime(t *testing.T) {
+	s := newFCFS(t, 4)
+	if _, err := s.AdvanceTo(42); err != nil {
+		t.Fatal(err)
+	}
+	j := workload.Job{ID: 7, Runtime: 5, Estimate: 5, Cores: 1} // Submit unset
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	started := s.Flush()
+	if len(started) != 1 || started[0].Wait != 0 {
+		t.Fatalf("stamped submit: started %+v, want wait 0 at t=42", started)
+	}
+}
+
+func TestCompleteErrors(t *testing.T) {
+	s := newFCFS(t, 2)
+	if err := s.Complete(9); err == nil || !strings.Contains(err.Error(), "not active") {
+		t.Errorf("unknown id: err = %v", err)
+	}
+	// A queued-but-never-started job cannot complete.
+	if err := s.Submit(job(1, 0, 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(job(2, 0, 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush() // starts job 1 only
+	if err := s.Complete(2); err == nil || !strings.Contains(err.Error(), "not started") {
+		t.Errorf("queued job completion: err = %v", err)
+	}
+}
+
+func TestAdvanceBackwardRejected(t *testing.T) {
+	s := newFCFS(t, 1)
+	if _, err := s.AdvanceTo(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AdvanceTo(5); err == nil {
+		t.Error("backward advance accepted")
+	}
+}
+
+func TestSetPolicyRerankQueue(t *testing.T) {
+	s := newFCFS(t, 1)
+	// One job hogs the machine; two wait in FCFS order (3 before 4 by
+	// submit). After swapping to SPT the short late job must run first.
+	if err := s.Submit(job(1, 0, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if _, err := s.AdvanceTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(job(3, 1, 80, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if _, err := s.AdvanceTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(job(4, 2, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+
+	if err := s.SetPolicy(sched.SPT()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Policy().Name(); got != "SPT" {
+		t.Errorf("policy = %s, want SPT", got)
+	}
+	if st := s.Status(); st.Queued != 2 || st.Policy != "SPT" {
+		t.Fatalf("swap dropped queue state: %+v", st)
+	}
+	if _, err := s.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(1); err != nil {
+		t.Fatal(err)
+	}
+	started := s.Flush()
+	if len(started) != 1 || started[0].ID != 4 {
+		t.Fatalf("after swap to SPT started %+v, want the short job 4", started)
+	}
+	if err := s.SetPolicy(nil); err != online.ErrNoPolicy {
+		t.Errorf("nil policy: err = %v", err)
+	}
+}
+
+func TestReplayInputValidation(t *testing.T) {
+	jobs := []workload.Job{job(1, 0, 10, 1), job(1, 5, 10, 1)}
+	if _, err := online.Replay(2, jobs, online.ReplayOptions{Policy: sched.FCFS()}); err == nil ||
+		!strings.Contains(err.Error(), "unique job IDs") {
+		t.Errorf("duplicate IDs: err = %v", err)
+	}
+	jobs2 := []workload.Job{job(1, 0, 10, 1)}
+	_, err := online.Replay(2, jobs2, online.ReplayOptions{
+		Policy: sched.FCFS(),
+		Swaps:  []online.Swap{{At: 9, Policy: sched.SPT()}, {At: 3, Policy: sched.SAF()}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "time order") {
+		t.Errorf("unsorted swaps: err = %v", err)
+	}
+	if _, err := online.Replay(2, nil, online.ReplayOptions{}); err != online.ErrNoPolicy {
+		t.Errorf("no policy: err = %v", err)
+	}
+	// Empty workload drains cleanly.
+	res, err := online.Replay(2, nil, online.ReplayOptions{Policy: sched.FCFS()})
+	if err != nil || len(res.Stats) != 0 {
+		t.Errorf("empty replay: res=%+v err=%v", res, err)
+	}
+}
+
+// TestSteadyStateZeroAlloc pins the zero-allocation contract of the hot
+// path: once the scheduler's buffers are warm, a submit+flush+complete
+// +flush cycle allocates nothing (task slots are recycled, the starts
+// slice is reused, the queue/running sets are at high-water mark).
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	s, err := online.New(4, online.Options{Policy: sched.F1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := 0.0
+	cycle := func() {
+		clock++
+		if _, err := s.AdvanceTo(clock); err != nil {
+			panic(err)
+		}
+		if err := s.Submit(workload.Job{ID: 1, Submit: clock, Runtime: 10, Estimate: 12, Cores: 2}); err != nil {
+			panic(err)
+		}
+		if n := len(s.Flush()); n != 1 {
+			panic("job did not start")
+		}
+		clock++
+		if _, err := s.AdvanceTo(clock); err != nil {
+			panic(err)
+		}
+		if err := s.Complete(1); err != nil {
+			panic(err)
+		}
+		s.Flush()
+	}
+	for i := 0; i < 64; i++ { // warm the buffers
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs > 0 {
+		t.Errorf("steady-state submit+complete cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}

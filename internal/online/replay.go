@@ -1,0 +1,166 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/schedcore"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/simref"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// Swap is a scheduled policy hot-swap: from time At on, every scheduling
+// pass ranks the queue with Policy.
+type Swap struct {
+	At     float64
+	Policy sched.Policy
+}
+
+// ReplayOptions configures a Replay run. Policy, UseEstimates, Backfill,
+// BackfillOrder, Tau and Check mean exactly what they mean in sim.Options;
+// KillAtEstimate truncates the execution times the replay driver derives,
+// the way the batch engine truncates them.
+type ReplayOptions struct {
+	Policy         sched.Policy
+	UseEstimates   bool
+	Backfill       sim.BackfillMode
+	BackfillOrder  sched.Policy
+	KillAtEstimate bool
+	Tau            float64
+	Check          bool
+	// Swaps applies policy hot-swaps at the given times, in order.
+	Swaps []Swap
+}
+
+// Replay event kinds: policy swaps apply first at an instant (a swap at
+// time T governs the pass at T), then completions, then arrivals — the
+// batch engine's order.
+const kindSwap = -1
+
+// Replay streams a whole workload through an incremental Scheduler the
+// way a live cluster would experience it: each job is submitted at its
+// submit time, and its completion is reported when its execution time has
+// elapsed after the start the scheduler chose. It returns a Result
+// assembled with the batch engine's exact arithmetic, so a correct
+// Scheduler yields a Result bit-identical to sim.Run on the same jobs and
+// options — the property the differential tests enforce.
+//
+// Job IDs must be unique across the workload (they key the stream's
+// completion events).
+func Replay(cores int, jobs []workload.Job, opt ReplayOptions) (*sim.Result, error) {
+	if opt.Policy == nil {
+		return nil, ErrNoPolicy
+	}
+	byID := make(map[int]int, len(jobs))
+	for i := range jobs {
+		if prev, dup := byID[jobs[i].ID]; dup {
+			return nil, fmt.Errorf("online: replay needs unique job IDs; %d appears at inputs %d and %d",
+				jobs[i].ID, prev, i)
+		}
+		byID[jobs[i].ID] = i
+	}
+	if !sort.SliceIsSorted(opt.Swaps, func(a, b int) bool { return opt.Swaps[a].At < opt.Swaps[b].At }) {
+		return nil, fmt.Errorf("online: replay swaps must be in time order")
+	}
+
+	s, err := New(cores, Options{
+		Policy:        opt.Policy,
+		UseEstimates:  opt.UseEstimates,
+		Backfill:      opt.Backfill,
+		BackfillOrder: opt.BackfillOrder,
+		Tau:           opt.Tau,
+		Check:         opt.Check,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The stream: arrivals are known up front; completions are pushed as
+	// the scheduler starts jobs; swaps ride along as their own events.
+	var h schedcore.EventHeap
+	for i := range jobs {
+		if err := jobs[i].Validate(cores); err != nil {
+			return nil, fmt.Errorf("online: %w", err)
+		}
+		h.Push(schedcore.Event{Time: jobs[i].Submit, Kind: schedcore.KindArrival, Ref: i})
+	}
+	for si, sw := range opt.Swaps {
+		if sw.Policy == nil {
+			return nil, ErrNoPolicy
+		}
+		h.Push(schedcore.Event{Time: sw.At, Kind: kindSwap, Ref: si})
+	}
+
+	outs := make([]sim.Outcome, len(jobs))
+	execution := func(i int) float64 {
+		e := jobs[i].Runtime
+		if opt.KillAtEstimate && jobs[i].Estimate > 0 && jobs[i].Estimate < e {
+			e = jobs[i].Estimate
+		}
+		return e
+	}
+	// flush drains the pending pass, records where the started jobs will
+	// run, and schedules their completion events.
+	flush := func() {
+		for _, st := range s.Flush() {
+			i := byID[st.ID]
+			exec := execution(i)
+			outs[i] = sim.Outcome{
+				Start:      st.Time,
+				Finish:     st.Time + exec,
+				Execution:  exec,
+				Backfilled: st.Backfilled,
+			}
+			h.Push(schedcore.Event{Time: outs[i].Finish, Kind: schedcore.KindCompletion, Ref: i})
+		}
+	}
+	for {
+		flush()
+		if h.Len() == 0 {
+			break
+		}
+		t := h.PeekTime()
+		if _, err := s.AdvanceTo(t); err != nil {
+			return nil, err
+		}
+		for h.Len() > 0 && h.PeekTime() == t {
+			ev := h.Pop()
+			switch ev.Kind {
+			case kindSwap:
+				if err := s.SetPolicy(opt.Swaps[ev.Ref].Policy); err != nil {
+					return nil, err
+				}
+			case schedcore.KindCompletion:
+				if err := s.Complete(jobs[ev.Ref].ID); err != nil {
+					return nil, err
+				}
+			case schedcore.KindArrival:
+				if err := s.Submit(jobs[ev.Ref]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if s.completed != len(jobs) {
+		return nil, fmt.Errorf("online: replay drained with %d of %d jobs completed", s.completed, len(jobs))
+	}
+
+	res := sim.AssembleResult(jobs, outs, cores, opt.Tau)
+	res.MaxQueueLen = s.MaxQueueLen()
+	res.Backfilled = s.BackfilledCount()
+	if opt.Check {
+		pls := make([]simref.Placement, len(res.Stats))
+		for i, st := range res.Stats {
+			pls[i] = simref.Placement{Job: st.Job, Start: st.Start, Finish: st.Finish, Backfilled: st.Backfilled}
+		}
+		if err := simref.CheckSchedule(cores, pls); err != nil {
+			return nil, fmt.Errorf("online: %w", err)
+		}
+	}
+	return res, nil
+}

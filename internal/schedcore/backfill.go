@@ -1,17 +1,14 @@
-package sim
+package schedcore
 
 import (
 	"math"
 	"sort"
 )
 
-// timeEps absorbs floating-point noise when comparing schedule times.
-const timeEps = 1e-9
-
 // perceivedFinish is when the scheduler believes a running task will end:
 // its start plus the perceived runtime, clamped to now (a task that outran
 // its estimate is believed to end imminently, the standard EASY treatment).
-func (e *engine) perceivedFinish(ti int) float64 {
+func (e *Engine) perceivedFinish(ti int) float64 {
 	pf := e.rawPF(ti)
 	if pf < e.now {
 		pf = e.now
@@ -25,26 +22,25 @@ func (e *engine) perceivedFinish(ti int) float64 {
 // needs). Backfill candidates must either finish by the shadow time or fit
 // within the extra cores.
 //
-// The running set is kept sorted by perceived finish (see engine.running),
+// The running set is kept sorted by perceived finish (see Engine.running),
 // so the scan needs no sort and no scratch slice: it walks releases in
 // order, accumulating freed cores until the head fits.
-func (e *engine) headReservation() (shadow float64, extra int) {
-	need := e.tasks[e.queue[0]].job.Cores
+func (e *Engine) headReservation() (shadow float64, extra int) {
+	need := e.tasks[e.queue[0]].Job.Cores
 	free := e.free
 	for _, ri := range e.running {
-		free += e.tasks[ri].job.Cores
+		free += e.tasks[ri].Job.Cores
 		if free >= need {
 			return e.perceivedFinish(ri), free - need
 		}
 	}
-	// Unreachable for validated inputs: Run rejects jobs larger than the
-	// platform (and Scenario construction rejects them earlier still), so
-	// the full machine always satisfies the head. Degrade gracefully
-	// regardless — no extra cores, the head never starts — and record the
-	// violation when invariant checking is on.
-	if e.opt.Check {
+	// Unreachable for validated inputs: the drivers reject jobs larger
+	// than the platform, so the full machine always satisfies the head.
+	// Degrade gracefully regardless — no extra cores, the head never
+	// starts — and record the violation when invariant checking is on.
+	if e.cfg.Check {
 		e.failf("EASY head job %d requires %d cores but the whole platform frees only %d",
-			e.tasks[e.queue[0]].job.ID, need, free)
+			e.tasks[e.queue[0]].Job.ID, need, free)
 	}
 	return math.Inf(1), 0
 }
@@ -52,25 +48,25 @@ func (e *engine) headReservation() (shadow float64, extra int) {
 // easyBackfill implements aggressive (EASY) backfilling: scan the queue
 // behind the blocked head and start any task that fits now and cannot
 // delay the head's reservation. Candidates are visited in queue priority
-// order, or in the order induced by opt.BackfillOrder when set (EASY-SJBF
+// order, or in the order induced by cfg.BackfillOrder when set (EASY-SJBF
 // style variants). After each start the reservation is recomputed against
 // the enlarged running set, which keeps the no-delay guarantee exact with
 // respect to perceived runtimes.
 //
-// Started candidates are tombstoned in place (task.started) and the queue
+// Started candidates are tombstoned in place (Task.Started) and the queue
 // is compacted once at the end of the pass, replacing the former O(n)
 // splice per start with one O(n) sweep per pass.
-func (e *engine) easyBackfill() {
+func (e *Engine) easyBackfill() {
 	nStarted := 0
 	for e.free > 0 && len(e.queue)-nStarted > 1 {
 		shadow, extra := e.headReservation()
 		started := false
-		if e.opt.BackfillOrder == nil {
+		if e.cfg.BackfillOrder == nil {
 			// Queue priority order: classic EASY. Scan positions directly,
 			// skipping tasks already started this pass.
 			for i := 1; i < len(e.queue); i++ {
 				ti := e.queue[i]
-				if e.tasks[ti].started {
+				if e.tasks[ti].Started {
 					continue
 				}
 				if e.tryBackfill(ti, shadow, extra) {
@@ -90,7 +86,7 @@ func (e *engine) easyBackfill() {
 			break
 		}
 		nStarted++
-		if e.opt.Check {
+		if e.cfg.Check {
 			e.checkHeadNotDelayed(shadow)
 		}
 	}
@@ -103,12 +99,12 @@ func (e *engine) easyBackfill() {
 // the head: it must finish by the shadow time or fit within the extra
 // cores. Both easyBackfill candidate orders share this acceptance test so
 // the safety condition cannot drift between them.
-func (e *engine) tryBackfill(ti int, shadow float64, extra int) bool {
+func (e *Engine) tryBackfill(ti int, shadow float64, extra int) bool {
 	t := &e.tasks[ti]
-	if t.job.Cores > e.free {
+	if t.Job.Cores > e.free {
 		return false
 	}
-	if e.now+t.perceived <= shadow+timeEps || t.job.Cores <= extra {
+	if e.now+t.Perceived <= shadow+TimeEps || t.Job.Cores <= extra {
 		e.startTask(ti, true)
 		return true
 	}
@@ -117,10 +113,10 @@ func (e *engine) tryBackfill(ti int, shadow float64, extra int) bool {
 
 // compactQueue removes tombstoned (started) entries from the waiting
 // queue in one pass, preserving the order of the remainder.
-func (e *engine) compactQueue() {
+func (e *Engine) compactQueue() {
 	w := 0
 	for _, ti := range e.queue {
-		if !e.tasks[ti].started {
+		if !e.tasks[ti].Started {
 			e.queue[w] = ti
 			w++
 		}
@@ -130,12 +126,12 @@ func (e *engine) compactQueue() {
 
 // backfillOrder returns the queue indices (excluding the head and any
 // tombstoned entries) in the order backfill candidates should be
-// considered under opt.BackfillOrder. The index and key slices are engine
+// considered under cfg.BackfillOrder. The index and key slices are engine
 // scratch, reused across passes.
-func (e *engine) backfillOrder() []int {
+func (e *Engine) backfillOrder() []int {
 	order := e.orderBuf[:0]
 	for i := 1; i < len(e.queue); i++ {
-		if !e.tasks[e.queue[i]].started {
+		if !e.tasks[e.queue[i]].Started {
 			order = append(order, i)
 		}
 	}
@@ -146,7 +142,7 @@ func (e *engine) backfillOrder() []int {
 	}
 	keys = keys[:len(e.queue)]
 	e.keysBuf = keys
-	p := e.opt.BackfillOrder
+	p := e.cfg.BackfillOrder
 	for _, i := range order {
 		keys[i] = p.Score(e.view(e.queue[i]))
 	}
@@ -156,10 +152,10 @@ func (e *engine) backfillOrder() []int {
 			return keys[ia] < keys[ib]
 		}
 		ta, tb := &e.tasks[e.queue[ia]], &e.tasks[e.queue[ib]]
-		if ta.job.Submit != tb.job.Submit {
-			return ta.job.Submit < tb.job.Submit
+		if ta.Job.Submit != tb.Job.Submit {
+			return ta.Job.Submit < tb.Job.Submit
 		}
-		return ta.job.ID < tb.job.ID
+		return ta.Job.ID < tb.Job.ID
 	})
 	return order
 }
@@ -175,15 +171,15 @@ type profile struct {
 // buildProfile seeds the engine's scratch availability profile from the
 // running set. The running set is already in perceived-finish order, so
 // releases append in one sorted pass with no scratch slice and no sort.
-func (e *engine) buildProfile() *profile {
+func (e *Engine) buildProfile() *profile {
 	p := &e.prof
 	p.times = append(p.times[:0], e.now)
 	p.avail = append(p.avail[:0], e.free)
 	for _, ri := range e.running {
 		at := e.perceivedFinish(ri)
-		cores := e.tasks[ri].job.Cores
+		cores := e.tasks[ri].Job.Cores
 		last := len(p.times) - 1
-		if at <= p.times[last]+timeEps {
+		if at <= p.times[last]+TimeEps {
 			// Coalesce releases at (numerically) the same instant.
 			p.avail[last] += cores
 			continue
@@ -224,7 +220,7 @@ func (p *profile) earliestStart(cores int, duration float64) float64 {
 		t := p.times[i]
 		end := t + duration
 		ok := true
-		for j := i; j < len(p.times) && p.times[j] < end-timeEps; j++ {
+		for j := i; j < len(p.times) && p.times[j] < end-TimeEps; j++ {
 			if p.avail[j] < cores {
 				ok = false
 				break
@@ -265,19 +261,19 @@ func (p *profile) reserve(t, duration float64, cores int) {
 // guarantees no task before it in the queue is delayed. The availability
 // profile lives on the engine and is rebuilt in place each pass; started
 // tasks are tombstoned and compacted once at the end, like easyBackfill.
-func (e *engine) conservativeBackfill() {
+func (e *Engine) conservativeBackfill() {
 	p := e.buildProfile()
 	nStarted := 0
 	for _, ti := range e.queue {
 		t := &e.tasks[ti]
-		st := p.earliestStart(t.job.Cores, t.perceived)
-		p.reserve(st, t.perceived, t.job.Cores)
-		if st <= e.now+timeEps && t.job.Cores <= e.free {
+		st := p.earliestStart(t.Job.Cores, t.Perceived)
+		p.reserve(st, t.Perceived, t.Job.Cores)
+		if st <= e.now+TimeEps && t.Job.Cores <= e.free {
 			e.startTask(ti, true)
 			nStarted++
 		}
 	}
-	if e.opt.Check {
+	if e.cfg.Check {
 		e.checkProfile(p)
 	}
 	if nStarted > 0 {

@@ -1,0 +1,77 @@
+package schedcore
+
+import "fmt"
+
+// Runtime invariant checking, enabled by Config.Check. The checks cost a
+// small constant factor per scheduling decision and nothing when off, so
+// grids can turn them on wholesale (gensched.WithCheck) during engine
+// development and fuzzing.
+//
+// The invariants, in the order they can trip:
+//
+//  1. Cores are never oversubscribed: the free-core counter stays within
+//     [0, cores] across every start and completion.
+//  2. No task starts before its submission time.
+//  3. The waiting queue is always in (score, submit, id) order when a
+//     scheduling pass reads it.
+//  4. EASY: a backfill start never pushes the head's shadow time later —
+//     the no-delay guarantee with respect to perceived runtimes.
+//  5. Conservative: after every pass the availability profile is
+//     non-negative everywhere — reservations never oversubscribe the
+//     future machine.
+//
+// The post-run schedule audit (invariant 6, simref.CheckSchedule) lives
+// with the drivers: internal/sim runs it from Options.Check, and the
+// online replay harness runs it after a drained stream.
+
+// failf records the first invariant violation; later ones are dropped so
+// the root cause surfaces rather than its knock-on effects.
+func (e *Engine) failf(format string, args ...any) {
+	if e.checkErr == nil {
+		e.checkErr = fmt.Errorf("sim: invariant violated at t=%g: %s", e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkStart validates a task launch (invariants 1 and 2).
+func (e *Engine) checkStart(ti int) {
+	t := &e.tasks[ti]
+	if t.Start < t.Job.Submit-TimeEps {
+		e.failf("job %d started at %g before its submission at %g", t.Job.ID, t.Start, t.Job.Submit)
+	}
+	if e.free < 0 {
+		e.failf("starting job %d oversubscribed the machine: %d cores free", t.Job.ID, e.free)
+	}
+}
+
+// checkQueueOrder verifies invariant 3 on the queue a pass is about to
+// serve.
+func (e *Engine) checkQueueOrder() {
+	for i := 1; i < len(e.queue); i++ {
+		if e.queueLess(e.queue[i], e.queue[i-1]) {
+			a, b := &e.tasks[e.queue[i-1]], &e.tasks[e.queue[i]]
+			e.failf("queue out of (score, submit, id) order: job %d (score %g) before job %d (score %g)",
+				a.Job.ID, a.score, b.Job.ID, b.score)
+			return
+		}
+	}
+}
+
+// checkHeadNotDelayed verifies invariant 4: recompute the head's shadow
+// after a backfill start and compare against the shadow that justified it.
+func (e *Engine) checkHeadNotDelayed(shadowBefore float64) {
+	shadowAfter, _ := e.headReservation()
+	if shadowAfter > shadowBefore+TimeEps {
+		e.failf("EASY backfill delayed the head job %d: shadow moved %g -> %g",
+			e.tasks[e.queue[0]].Job.ID, shadowBefore, shadowAfter)
+	}
+}
+
+// checkProfile verifies invariant 5 after a conservative pass.
+func (e *Engine) checkProfile(p *profile) {
+	for i, a := range p.avail {
+		if a < 0 {
+			e.failf("conservative reservations oversubscribe the machine: %d cores at t=%g", a, p.times[i])
+			return
+		}
+	}
+}

@@ -3,99 +3,33 @@ package sim
 import (
 	"fmt"
 
+	"github.com/hpcsched/gensched/internal/schedcore"
 	"github.com/hpcsched/gensched/internal/simref"
 )
 
-// Runtime invariant checking, enabled by Options.Check. The checks cost a
-// small constant factor per scheduling decision and nothing when off, so
-// grids can turn them on wholesale (gensched.WithCheck) during engine
-// development and fuzzing.
-//
-// The invariants, in the order they can trip:
-//
-//  1. Cores are never oversubscribed: the free-core counter stays within
-//     [0, cores] across every start and completion.
-//  2. No task starts before its submission time.
-//  3. The waiting queue is always in (score, submit, id) order when a
-//     scheduling pass reads it.
-//  4. EASY: a backfill start never pushes the head's shadow time later —
-//     the no-delay guarantee with respect to perceived runtimes.
-//  5. Conservative: after every pass the availability profile is
-//     non-negative everywhere — reservations never oversubscribe the
-//     future machine.
-//  6. Post-run (simref.CheckSchedule): every task ran exactly once, for
-//     exactly its execution time, and the global start/finish envelope
-//     never exceeds the platform size.
+// The per-decision invariant checks (oversubscription, start-before-
+// submit, queue order, EASY no-delay, conservative profile non-negativity)
+// live in internal/schedcore with the engine they guard; this file keeps
+// the batch driver's post-run audit (invariant 6): every task ran exactly
+// once, for exactly its execution time, and the global start/finish
+// envelope never exceeds the platform size.
 
-// failf records the first invariant violation; later ones are dropped so
-// the root cause surfaces rather than its knock-on effects.
-func (e *engine) failf(format string, args ...any) {
-	if e.checkErr == nil {
-		e.checkErr = fmt.Errorf("sim: invariant violated at t=%g: %s", e.now, fmt.Sprintf(format, args...))
+// verify returns the first invariant violation the run recorded, then
+// audits the assembled schedule against simref.CheckSchedule.
+func verify(e *schedcore.Engine, res *Result) error {
+	if err := e.CheckErr(); err != nil {
+		return err
 	}
-}
-
-// checkStart validates a task launch (invariants 1 and 2).
-func (e *engine) checkStart(ti int) {
-	t := &e.tasks[ti]
-	if t.start < t.job.Submit-timeEps {
-		e.failf("job %d started at %g before its submission at %g", t.job.ID, t.start, t.job.Submit)
-	}
-	if e.free < 0 {
-		e.failf("starting job %d oversubscribed the machine: %d cores free", t.job.ID, e.free)
-	}
-}
-
-// checkQueueOrder verifies invariant 3 on the queue a pass is about to
-// serve.
-func (e *engine) checkQueueOrder() {
-	for i := 1; i < len(e.queue); i++ {
-		if e.queueLess(e.queue[i], e.queue[i-1]) {
-			a, b := &e.tasks[e.queue[i-1]], &e.tasks[e.queue[i]]
-			e.failf("queue out of (score, submit, id) order: job %d (score %g) before job %d (score %g)",
-				a.job.ID, a.score, b.job.ID, b.score)
-			return
-		}
-	}
-}
-
-// checkHeadNotDelayed verifies invariant 4: recompute the head's shadow
-// after a backfill start and compare against the shadow that justified it.
-func (e *engine) checkHeadNotDelayed(shadowBefore float64) {
-	shadowAfter, _ := e.headReservation()
-	if shadowAfter > shadowBefore+timeEps {
-		e.failf("EASY backfill delayed the head job %d: shadow moved %g -> %g",
-			e.tasks[e.queue[0]].job.ID, shadowBefore, shadowAfter)
-	}
-}
-
-// checkProfile verifies invariant 5 after a conservative pass.
-func (e *engine) checkProfile(p *profile) {
-	for i, a := range p.avail {
-		if a < 0 {
-			e.failf("conservative reservations oversubscribe the machine: %d cores at t=%g", a, p.times[i])
-			return
-		}
-	}
-}
-
-// verify runs the post-simulation checks (invariant 6) and returns the
-// first violation the run recorded, if any.
-func (e *engine) verify(res *Result) error {
-	if e.checkErr != nil {
-		return e.checkErr
-	}
-	for i := range e.tasks {
-		t := &e.tasks[i]
-		if !t.done {
-			return fmt.Errorf("sim: invariant violated: job %d never completed", t.job.ID)
+	for i := range res.Stats {
+		if !e.Task(i).Done {
+			return fmt.Errorf("sim: invariant violated: job %d never completed", res.Stats[i].Job.ID)
 		}
 	}
 	pls := make([]simref.Placement, len(res.Stats))
 	for i, s := range res.Stats {
 		pls[i] = simref.Placement{Job: s.Job, Start: s.Start, Finish: s.Finish, Backfilled: s.Backfilled}
 	}
-	if err := simref.CheckSchedule(e.cores, pls); err != nil {
+	if err := simref.CheckSchedule(e.Cores(), pls); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
 	return nil

@@ -2,430 +2,87 @@ package sim
 
 import (
 	"math"
-	"sort"
 
-	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/schedcore"
 	"github.com/hpcsched/gensched/internal/stats"
 	"github.com/hpcsched/gensched/internal/workload"
 )
 
-// task is the engine's mutable view of one job.
-type task struct {
-	job       workload.Job
-	perceived float64 // runtime the scheduler sees (r or e)
-	execution float64 // runtime execution actually takes
-	score     float64 // cached policy score (static policies)
-	start     float64
-	finish    float64
-	started   bool
-	done      bool
-	backfill  bool
-}
+// The scheduling core — the typed event heap, the incrementally sorted
+// running set, and the EASY/conservative backfilling passes — lives in
+// internal/schedcore, shared with the incremental online scheduler
+// (internal/online). This file is the batch driver: it registers every
+// job up front, drains the core's event loop, and assembles the Result.
 
-// event kinds, ordered so completions at a timestamp are applied before
-// arrivals: released cores must be visible to the scheduling pass that
-// also sees the new arrivals.
-const (
-	evCompletion = iota
-	evArrival
-)
-
-type event struct {
-	time float64
-	kind int
-	task int // task index
-	seq  int // tie-break for determinism
-}
-
-// less is the deterministic event order: time, then kind (completions
-// before arrivals), then insertion sequence.
-func (a event) less(b event) bool {
-	if a.time != b.time {
-		return a.time < b.time
+// newCore builds a schedcore engine configured for one batch run and
+// preloads every job's arrival event.
+func newCore(p Platform, jobs []workload.Job, opt Options) *schedcore.Engine {
+	e := schedcore.NewEngine(p.Cores, schedcore.Config{
+		Policy:         opt.Policy,
+		UseEstimates:   opt.UseEstimates,
+		Backfill:       opt.Backfill,
+		BackfillOrder:  opt.BackfillOrder,
+		KillAtEstimate: opt.KillAtEstimate,
+		RecordTimeline: opt.RecordTimeline,
+		Check:          opt.Check,
+	})
+	for i := range jobs {
+		e.PushArrival(e.AddTask(jobs[i]))
 	}
-	if a.kind != b.kind {
-		return a.kind < b.kind
-	}
-	return a.seq < b.seq
-}
-
-// eventHeap is a binary min-heap of events. It is hand-rolled rather than
-// built on container/heap because the interface-based API boxes every
-// pushed and popped event into an `any`, which costs two heap allocations
-// per simulated completion — the single largest allocation source in the
-// event loop.
-type eventHeap []event
-
-func (h eventHeap) peekTime() float64 { return h[0].time }
-
-func (h eventHeap) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h[i].less(h[parent]) {
-			return
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (h eventHeap) siftDown(i int) {
-	n := len(h)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		least := left
-		if right := left + 1; right < n && h[right].less(h[left]) {
-			least = right
-		}
-		if !h[least].less(h[i]) {
-			return
-		}
-		h[i], h[least] = h[least], h[i]
-		i = least
-	}
-}
-
-func (h eventHeap) init() {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		h.siftDown(i)
-	}
-}
-
-type engine struct {
-	cores int
-	free  int
-	opt   Options
-	tau   float64
-
-	policy      sched.Policy
-	withID      sched.PolicyWithID // non-nil if policy scores by job ID
-	timeVarying bool
-
-	tasks []task
-	queue []int // waiting task indices; kept score-sorted for static policies
-	// running holds the running task indices sorted by ascending
-	// (start+perceived, job ID): the perceived-finish order every backfill
-	// reservation scans. The order is maintained incrementally (binary
-	// insert on start, binary remove on completion) so no scheduling pass
-	// ever sorts the running set.
-	running []int
-	events  eventHeap
-	seq     int
-	now     float64
-
-	maxQueueLen int
-	backfilled  int
-	timeline    []TimelinePoint
-
-	// Scratch buffers reused across scheduling passes so the hot paths
-	// (EASY candidate ordering, the conservative availability profile)
-	// allocate only on high-water-mark growth.
-	orderBuf []int
-	keysBuf  []float64
-	prof     profile
-
-	// checkErr records the first invariant violation when Options.Check
-	// is set; nil otherwise. See check.go.
-	checkErr error
-}
-
-func newEngine(p Platform, jobs []workload.Job, opt Options) *engine {
-	tau := opt.Tau
-	if tau <= 0 {
-		tau = DefaultTau
-	}
-	e := &engine{
-		cores:       p.Cores,
-		free:        p.Cores,
-		opt:         opt,
-		tau:         tau,
-		policy:      opt.Policy,
-		timeVarying: opt.Policy.TimeVarying(),
-	}
-	if w, ok := opt.Policy.(sched.PolicyWithID); ok {
-		e.withID = w
-	}
-	e.tasks = make([]task, len(jobs))
-	e.events = make(eventHeap, 0, 2*len(jobs))
-	for i, j := range jobs {
-		perceived := j.Runtime
-		if opt.UseEstimates && j.Estimate > 0 {
-			perceived = j.Estimate
-		}
-		execution := j.Runtime
-		if opt.KillAtEstimate && j.Estimate > 0 && j.Estimate < execution {
-			execution = j.Estimate
-		}
-		e.tasks[i] = task{job: j, perceived: perceived, execution: execution}
-		e.events = append(e.events, event{time: j.Submit, kind: evArrival, task: i, seq: e.seq})
-		e.seq++
-	}
-	e.events.init()
 	return e
 }
 
-func (e *engine) pushHeap(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	e.events = append(e.events, ev)
-	e.events.siftUp(len(e.events) - 1)
+// Outcome is the per-task scheduling verdict AssembleResult consumes:
+// where the task ran and for how long. Execution is the time the task
+// actually occupied its cores (the actual runtime, or the estimate under
+// KillAtEstimate); it is carried explicitly rather than recomputed as
+// Finish-Start so aggregate metrics are bit-identical no matter which
+// engine produced the placement.
+type Outcome struct {
+	Start      float64
+	Finish     float64
+	Execution  float64
+	Backfilled bool
 }
 
-func (e *engine) popHeap() event {
-	h := e.events
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	e.events = h[:n]
-	e.events.siftDown(0)
-	return top
-}
-
-// view builds the policy's JobView of a task at the current time.
-func (e *engine) view(ti int) sched.JobView {
-	t := &e.tasks[ti]
-	wait := e.now - t.job.Submit
-	if wait < 0 {
-		wait = 0
+// AssembleResult computes per-job statistics and aggregate metrics from
+// placements in input order, with exactly the floating-point expressions
+// and accumulation order the batch engine has always used — the batch
+// result and the online replay result are assembled by this one routine,
+// so a bit-identical schedule yields a bit-identical Result. The caller
+// fills MaxQueueLen, Backfilled and Timeline afterward.
+func AssembleResult(jobs []workload.Job, outs []Outcome, cores int, tau float64) *Result {
+	if tau <= 0 {
+		tau = DefaultTau
 	}
-	return sched.JobView{
-		Runtime: t.perceived,
-		Cores:   float64(t.job.Cores),
-		Submit:  t.job.Submit,
-		Wait:    wait,
-	}
-}
-
-// staticScore computes and caches the score of a task under a
-// non-time-varying policy (Wait plays no role, so it is evaluated as 0).
-func (e *engine) staticScore(ti int) float64 {
-	v := e.view(ti)
-	v.Wait = 0
-	if e.withID != nil {
-		return e.withID.ScoreID(e.tasks[ti].job.ID, v)
-	}
-	return e.policy.Score(v)
-}
-
-// enqueue inserts an arrived task into the waiting queue. For static
-// policies the queue stays sorted by (score, submit, id) via binary
-// insertion; time-varying policies re-sort at each scheduling pass.
-func (e *engine) enqueue(ti int) {
-	if e.timeVarying {
-		e.queue = append(e.queue, ti)
-		return
-	}
-	e.tasks[ti].score = e.staticScore(ti)
-	lo, hi := 0, len(e.queue)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if e.queueLess(e.queue[mid], ti) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	e.queue = append(e.queue, 0)
-	copy(e.queue[lo+1:], e.queue[lo:])
-	e.queue[lo] = ti
-}
-
-// queueLess orders tasks by (score, submit, id) — the deterministic order
-// every experiment uses.
-func (e *engine) queueLess(a, b int) bool {
-	ta, tb := &e.tasks[a], &e.tasks[b]
-	if ta.score != tb.score {
-		return ta.score < tb.score
-	}
-	if ta.job.Submit != tb.job.Submit {
-		return ta.job.Submit < tb.job.Submit
-	}
-	return ta.job.ID < tb.job.ID
-}
-
-// resortQueue refreshes scores at the current time and re-sorts; only
-// needed for time-varying policies.
-func (e *engine) resortQueue() {
-	for _, ti := range e.queue {
-		if e.withID != nil {
-			e.tasks[ti].score = e.withID.ScoreID(e.tasks[ti].job.ID, e.view(ti))
-		} else {
-			e.tasks[ti].score = e.policy.Score(e.view(ti))
-		}
-	}
-	sort.SliceStable(e.queue, func(i, j int) bool { return e.queueLess(e.queue[i], e.queue[j]) })
-}
-
-// rawPF is a task's unclamped perceived finish time, the running-set sort
-// key. It is fixed at start time (start and perceived never change), so
-// the incremental order in e.running stays valid as the clock advances.
-func (e *engine) rawPF(ti int) float64 {
-	t := &e.tasks[ti]
-	return t.start + t.perceived
-}
-
-// runningLess is the running-set order: ascending unclamped perceived
-// finish, ties by job ID. Clamping to `now` (perceivedFinish) preserves
-// this order, so scans over e.running see nondecreasing release times.
-func (e *engine) runningLess(a, b int) bool {
-	pa, pb := e.rawPF(a), e.rawPF(b)
-	if pa != pb {
-		return pa < pb
-	}
-	return e.tasks[a].job.ID < e.tasks[b].job.ID
-}
-
-// runningRank binary-searches the sorted running set for the first
-// position not ordered before task ti — its insertion point on start and
-// the head of its equal-key run on completion.
-func (e *engine) runningRank(ti int) int {
-	lo, hi := 0, len(e.running)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if e.runningLess(e.running[mid], ti) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
-// startTask launches a waiting task now, inserting it into the running
-// set at its perceived-finish position.
-func (e *engine) startTask(ti int, backfillStart bool) {
-	t := &e.tasks[ti]
-	t.started = true
-	t.backfill = backfillStart
-	t.start = e.now
-	t.finish = e.now + t.execution
-	e.free -= t.job.Cores
-	lo := e.runningRank(ti)
-	e.running = append(e.running, 0)
-	copy(e.running[lo+1:], e.running[lo:])
-	e.running[lo] = ti
-	e.pushHeap(event{time: t.finish, kind: evCompletion, task: ti})
-	if backfillStart {
-		e.backfilled++
-	}
-	if e.opt.Check {
-		e.checkStart(ti)
-	}
-}
-
-// completeTask retires a finished task, removing it from the sorted
-// running set by binary search.
-func (e *engine) completeTask(ti int) {
-	t := &e.tasks[ti]
-	t.done = true
-	e.free += t.job.Cores
-	for i := e.runningRank(ti); i < len(e.running); i++ {
-		if e.running[i] == ti {
-			copy(e.running[i:], e.running[i+1:])
-			e.running = e.running[:len(e.running)-1]
-			break
-		}
-	}
-	if e.opt.Check && e.free > e.cores {
-		e.failf("completion of job %d released more cores than the platform has (%d free of %d)",
-			t.job.ID, e.free, e.cores)
-	}
-}
-
-// run executes the event loop: drain all events at a timestamp, then hold
-// one scheduling pass (the paper's rescheduling events are exactly task
-// arrivals and resource releases).
-func (e *engine) run() {
-	for len(e.events) > 0 {
-		now := e.events.peekTime()
-		e.now = now
-		for len(e.events) > 0 && e.events.peekTime() == now {
-			ev := e.popHeap()
-			switch ev.kind {
-			case evArrival:
-				e.enqueue(ev.task)
-			case evCompletion:
-				e.completeTask(ev.task)
-			}
-		}
-		if len(e.queue) > e.maxQueueLen {
-			e.maxQueueLen = len(e.queue)
-		}
-		e.schedulePass()
-		if e.opt.RecordTimeline {
-			e.timeline = append(e.timeline, TimelinePoint{
-				Time:     now,
-				QueueLen: len(e.queue),
-				CoresUse: e.cores - e.free,
-			})
-		}
-	}
-}
-
-// schedulePass starts every task the policy and backfilling rules allow.
-func (e *engine) schedulePass() {
-	if len(e.queue) == 0 || e.free == 0 {
-		return
-	}
-	if e.timeVarying {
-		e.resortQueue()
-	}
-	if e.opt.Check {
-		e.checkQueueOrder()
-	}
-	// Start from the head while it fits.
-	for len(e.queue) > 0 && e.tasks[e.queue[0]].job.Cores <= e.free {
-		e.startTask(e.queue[0], false)
-		e.queue = e.queue[1:]
-	}
-	if len(e.queue) == 0 || e.free == 0 {
-		return
-	}
-	switch e.opt.Backfill {
-	case BackfillEASY:
-		e.easyBackfill()
-	case BackfillConservative:
-		e.conservativeBackfill()
-	}
-}
-
-// result assembles metrics after the event loop drains.
-func (e *engine) result() *Result {
-	res := &Result{
-		Stats:       make([]JobStats, len(e.tasks)),
-		MaxQueueLen: e.maxQueueLen,
-		Backfilled:  e.backfilled,
-		Timeline:    e.timeline,
-	}
-	if len(e.tasks) == 0 {
+	res := &Result{Stats: make([]JobStats, len(jobs))}
+	if len(jobs) == 0 {
 		return res
 	}
 	firstSubmit := math.Inf(1)
 	lastFinish := math.Inf(-1)
 	var sumB, sumW, busy float64
-	for i := range e.tasks {
-		t := &e.tasks[i]
-		wait := t.start - t.job.Submit
-		b := Bsld(wait, t.job.Runtime, e.tau)
+	for i := range jobs {
+		j := &jobs[i]
+		o := &outs[i]
+		wait := o.Start - j.Submit
+		b := Bsld(wait, j.Runtime, tau)
 		res.Stats[i] = JobStats{
-			Job:        t.job,
-			Start:      t.start,
-			Finish:     t.finish,
+			Job:        *j,
+			Start:      o.Start,
+			Finish:     o.Finish,
 			Wait:       wait,
 			BSLD:       b,
-			Backfilled: t.backfill,
+			Backfilled: o.Backfilled,
 		}
 		sumB += b
 		sumW += wait
-		busy += t.execution * float64(t.job.Cores)
-		if t.job.Submit < firstSubmit {
-			firstSubmit = t.job.Submit
+		busy += o.Execution * float64(j.Cores)
+		if j.Submit < firstSubmit {
+			firstSubmit = j.Submit
 		}
-		if t.finish > lastFinish {
-			lastFinish = t.finish
+		if o.Finish > lastFinish {
+			lastFinish = o.Finish
 		}
 		if b > res.MaxBSLD {
 			res.MaxBSLD = b
@@ -434,12 +91,12 @@ func (e *engine) result() *Result {
 			res.MaxWait = wait
 		}
 	}
-	n := float64(len(e.tasks))
+	n := float64(len(jobs))
 	res.AVEbsld = sumB / n
 	res.MeanWait = sumW / n
 	res.Makespan = lastFinish - firstSubmit
 	if res.Makespan > 0 {
-		res.Utilization = busy / (float64(e.cores) * res.Makespan)
+		res.Utilization = busy / (float64(cores) * res.Makespan)
 	}
 	bslds := make([]float64, len(res.Stats))
 	waits := make([]float64, len(res.Stats))
@@ -449,5 +106,19 @@ func (e *engine) result() *Result {
 	res.MedianBSLD = stats.Median(bslds)
 	res.P95BSLD = stats.Quantile(bslds, 0.95)
 	res.P95Wait = stats.Quantile(waits, 0.95)
+	return res
+}
+
+// assemble reads the drained core back into a Result.
+func assemble(e *schedcore.Engine, jobs []workload.Job, p Platform, opt Options) *Result {
+	outs := make([]Outcome, len(jobs))
+	for i := range jobs {
+		t := e.Task(i)
+		outs[i] = Outcome{Start: t.Start, Finish: t.Finish, Execution: t.Execution, Backfilled: t.Backfill}
+	}
+	res := AssembleResult(jobs, outs, p.Cores, opt.Tau)
+	res.MaxQueueLen = e.MaxQueueLen()
+	res.Backfilled = e.BackfilledCount()
+	res.Timeline = e.Timeline()
 	return res
 }

@@ -15,41 +15,33 @@ import (
 	"math"
 
 	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/schedcore"
 	"github.com/hpcsched/gensched/internal/workload"
 )
 
 // DefaultTau is the paper's bounded-slowdown constant τ (Eq. 1): 10 seconds.
 const DefaultTau = 10.0
 
-// BackfillMode selects the backfilling algorithm.
-type BackfillMode int
+// timeEps is the shared schedule-time comparison epsilon.
+const timeEps = schedcore.TimeEps
+
+// BackfillMode selects the backfilling algorithm. It is the schedcore
+// mode, re-exported so sim callers never import the core package:
+//
+//   - BackfillNone: strict policy order; the queue head blocks (§4.2).
+//   - BackfillEASY: aggressive backfilling — only the queue head holds a
+//     reservation; any later task may jump ahead if it does not delay the
+//     head (Mu'alem & Feitelson). FCFS+EASY is the EASY algorithm.
+//   - BackfillConservative: every queued task holds a reservation; a task
+//     may jump ahead only if it delays no task before it. Included as an
+//     ablation; the paper evaluates aggressive backfilling.
+type BackfillMode = schedcore.BackfillMode
 
 const (
-	// BackfillNone: strict policy order; the queue head blocks (§4.2).
-	BackfillNone BackfillMode = iota
-	// BackfillEASY: aggressive backfilling — only the queue head holds a
-	// reservation; any later task may jump ahead if it does not delay the
-	// head (Mu'alem & Feitelson). FCFS+EASY is the EASY algorithm.
-	BackfillEASY
-	// BackfillConservative: every queued task holds a reservation; a task
-	// may jump ahead only if it delays no task before it. Included as an
-	// ablation; the paper evaluates aggressive backfilling.
-	BackfillConservative
+	BackfillNone         = schedcore.BackfillNone
+	BackfillEASY         = schedcore.BackfillEASY
+	BackfillConservative = schedcore.BackfillConservative
 )
-
-// String names the mode for reports.
-func (m BackfillMode) String() string {
-	switch m {
-	case BackfillNone:
-		return "none"
-	case BackfillEASY:
-		return "easy"
-	case BackfillConservative:
-		return "conservative"
-	default:
-		return fmt.Sprintf("backfill(%d)", int(m))
-	}
-}
 
 // Options configures one simulation run.
 type Options struct {
@@ -89,11 +81,7 @@ type Options struct {
 }
 
 // TimelinePoint is one sample of the cluster state.
-type TimelinePoint struct {
-	Time     float64
-	QueueLen int
-	CoresUse int
-}
+type TimelinePoint = schedcore.TimelinePoint
 
 // JobStats records the outcome of one task.
 type JobStats struct {
@@ -153,11 +141,11 @@ func Run(p Platform, jobs []workload.Job, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 	}
-	e := newEngine(p, jobs, opt)
-	e.run()
-	res := e.result()
+	e := newCore(p, jobs, opt)
+	e.RunBatch()
+	res := assemble(e, jobs, p, opt)
 	if opt.Check {
-		if err := e.verify(res); err != nil {
+		if err := verify(e, res); err != nil {
 			return nil, err
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/sim"
 	"github.com/hpcsched/gensched/internal/simref"
 	"github.com/hpcsched/gensched/internal/workload"
@@ -47,6 +48,43 @@ func RandomJobs(rng *dist.RNG, n, maxCores int) []workload.Job {
 		jobs[i] = workload.Job{ID: i + 1, Submit: now, Runtime: r, Estimate: e, Cores: c}
 	}
 	return jobs
+}
+
+// IntegerJobs is RandomJobs with every time drawn on the integer grid:
+// submits, runtimes and estimates are whole seconds, so every schedule
+// time any engine derives (starts, shadow times, perceived finishes) is an
+// exactly-representable integer sum. Tie densities go up — many equal
+// scores and simultaneous releases — and time arithmetic becomes exact,
+// which is what the mid-stream policy-swap differential needs: a swap at
+// a half-integer instant T falls strictly between any two event times, so
+// "before T" and "after T" are unambiguous in floating point.
+func IntegerJobs(rng *dist.RNG, n, maxCores int) []workload.Job {
+	jobs := RandomJobs(rng, n, maxCores)
+	for i := range jobs {
+		jobs[i].Submit = math.Floor(jobs[i].Submit)
+		jobs[i].Runtime = math.Max(1, math.Floor(jobs[i].Runtime))
+		jobs[i].Estimate = math.Max(1, math.Floor(jobs[i].Estimate))
+	}
+	return jobs
+}
+
+// SwitchPolicy builds the batch-engine reference for a mid-stream policy
+// hot-swap: a time-varying policy that ranks with `before` at scheduling
+// passes strictly earlier than `at` and with `after` from `at` on. Both
+// wrapped policies must be static (their scores ignore Wait): the wrapper
+// reconstructs the pass time as Submit+Wait, which is exact whenever event
+// times are exactly representable (see IntegerJobs). Replaying a stream
+// through the online scheduler with a SetPolicy(after) call at time `at`
+// must match a batch run under SwitchPolicy — the swap-validation
+// differential.
+func SwitchPolicy(at float64, before, after sched.Policy) sched.Policy {
+	name := fmt.Sprintf("SWITCH(%s->%s@%g)", before.Name(), after.Name(), at)
+	return sched.New(name, true, func(v sched.JobView) float64 {
+		if v.Submit+v.Wait >= at {
+			return after.Score(v)
+		}
+		return before.Score(v)
+	})
 }
 
 // Modes is the backfill matrix every differential sweep covers.

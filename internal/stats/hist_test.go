@@ -1,0 +1,96 @@
+package stats
+
+// Unit tests specific to hist.go beyond the smoke checks in
+// stats_test.go: exact bin placement at boundaries, degenerate
+// construction, proportional bar rendering, and Welford edge semantics.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExactBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5) // bins of width 2: [0,2) [2,4) [4,6) [6,8) [8,10)
+	for _, x := range []float64{0, 1.9, 2, 4.5, 9.99, 10} {
+		h.Add(x) // 10 == hi clamps into the last bin
+	}
+	want := []int{2, 1, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d, want 6", h.Total())
+	}
+	if got := h.Fraction(4); got != 2.0/6.0 {
+		t.Errorf("Fraction(4) = %v", got)
+	}
+}
+
+func TestHistogramDegenerateConstruction(t *testing.T) {
+	// bins < 1 is promoted to one bin; hi <= lo widens to a unit range.
+	h := NewHistogram(5, 5, 0)
+	if len(h.Counts) != 1 || h.Hi != 6 {
+		t.Fatalf("degenerate histogram: %+v", h)
+	}
+	h.Add(5)
+	if h.Counts[0] != 1 || h.Fraction(0) != 1 {
+		t.Errorf("counts = %v fraction = %v", h.Counts, h.Fraction(0))
+	}
+}
+
+func TestHistogramRenderBarWidths(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	out := h.Render(20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rendered %d lines, want 2:\n%s", len(lines), out)
+	}
+	if strings.Count(lines[0], "#") != 20 {
+		t.Errorf("fullest bin must render the full width:\n%s", out)
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("half-count bin must render half the width:\n%s", out)
+	}
+	// Width below the minimum is clamped to 10 columns.
+	if narrow := h.Render(1); strings.Count(strings.SplitN(narrow, "\n", 2)[0], "#") != 10 {
+		t.Errorf("clamped width render:\n%s", narrow)
+	}
+}
+
+func TestWelfordEmptyIsNaN(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) || !math.IsNaN(w.StdDev()) {
+		t.Errorf("empty accumulator: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+	if w.N() != 0 {
+		t.Errorf("n = %d", w.N())
+	}
+}
+
+func TestWelfordMergeEmptyAccumulators(t *testing.T) {
+	var whole Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		whole.Add(x)
+	}
+	if whole.Mean() != 5 || whole.Variance() != 4 || whole.StdDev() != 2 {
+		t.Fatalf("known population moments: mean=%v var=%v", whole.Mean(), whole.Variance())
+	}
+	// Merging into an empty accumulator copies; merging an empty one is a
+	// no-op.
+	var empty Welford
+	empty.Merge(whole)
+	if empty != whole {
+		t.Error("merge into empty lost state")
+	}
+	before := whole
+	whole.Merge(Welford{})
+	if whole != before {
+		t.Error("merging an empty accumulator changed state")
+	}
+}

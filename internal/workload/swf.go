@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -84,6 +85,10 @@ func ParseSWF(r io.Reader) (*Trace, error) {
 func parseHeaderLine(t *Trace, line string) {
 	body := strings.TrimLeft(line, "; ")
 	if k, v, found := strings.Cut(body, ":"); found {
+		// Header is a map, so a key repeated across header lines (archive
+		// logs sometimes carry several "; Note:" or per-queue lines) keeps
+		// only the last value. WriteSWF can therefore round-trip exactly
+		// the fields that survive parsing, not duplicate lines.
 		t.Header[strings.TrimSpace(k)] = strings.TrimSpace(v)
 	}
 }
@@ -149,7 +154,12 @@ func parseJobLine(fields []string) (Job, bool, error) {
 // WriteSWF writes the trace in Standard Workload Format. Fields gensched
 // does not model are emitted as -1, and both "allocated" and "requested"
 // processor fields carry the job's core count so any SWF consumer reads
-// the same size.
+// the same size. Every parsed header field is written back out (after the
+// fields gensched derives itself), so ReadSWF → WriteSWF → ReadSWF
+// preserves jobs, Name, MaxProcs and every header field that survived
+// parsing — the round-trip property the workload tests pin. (Repeated
+// header keys collapse to their last value at parse time, since Header is
+// a map; see parseHeaderLine.)
 func WriteSWF(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "; SWF trace written by gensched\n")
@@ -158,6 +168,9 @@ func WriteSWF(w io.Writer, t *Trace) error {
 	}
 	fmt.Fprintf(bw, "; MaxProcs: %d\n", t.MaxProcs)
 	fmt.Fprintf(bw, "; MaxJobs: %d\n", len(t.Jobs))
+	for _, k := range sortedHeaderKeys(t.Header) {
+		fmt.Fprintf(bw, "; %s: %s\n", k, t.Header[k])
+	}
 	for _, j := range t.Jobs {
 		rec := make([]string, swfFields)
 		for i := range rec {
@@ -176,6 +189,27 @@ func WriteSWF(w io.Writer, t *Trace) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// sortedHeaderKeys lists the header fields WriteSWF must carry through,
+// in deterministic order: every parsed key except the ones the writer
+// emits itself (Computer, MaxProcs, MaxJobs — regenerated from the
+// struct) and gensched's internal bookkeeping keys (";gensched-*", which
+// describe one parse, not the trace).
+func sortedHeaderKeys(header map[string]string) []string {
+	keys := make([]string, 0, len(header))
+	for k := range header {
+		switch k {
+		case "Computer", "MaxProcs", "MaxJobs":
+			continue
+		}
+		if strings.HasPrefix(k, ";") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // formatSeconds renders times compactly: integers without a decimal point

@@ -1,0 +1,164 @@
+package workload
+
+// The SWF round-trip property: ReadSWF(WriteSWF(t)) preserves every job
+// field exactly (including fractional times), the trace name and platform
+// size, and every header field — randomized traces, many iterations.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/dist"
+)
+
+// randomTrace draws a valid trace with adversarial fields: fractional and
+// integer times, 1-core and full-machine jobs, estimates above and below
+// the runtime, plus arbitrary header entries.
+func randomTrace(rng *dist.RNG) *Trace {
+	cores := 1 + rng.IntN(512)
+	n := 1 + rng.IntN(60)
+	t := &Trace{
+		Name:     fmt.Sprintf("machine-%d", rng.IntN(100)),
+		MaxProcs: cores,
+		Header: map[string]string{
+			"Version":       "2.2",
+			"UnixStartTime": fmt.Sprint(rng.IntN(1 << 30)),
+			"Note":          "synthetic round-trip fixture",
+		},
+	}
+	now := 0.0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			now += rng.Float64() * 1e4 // fractional arrivals
+		} else {
+			now += float64(rng.IntN(10000)) // integer arrivals
+		}
+		r := 1 + rng.Float64()*1e5
+		if rng.Float64() < 0.3 {
+			r = float64(1 + rng.IntN(100000))
+		}
+		e := r * (0.25 + rng.Float64()*3)
+		if e < 1 {
+			e = 1
+		}
+		t.Jobs = append(t.Jobs, Job{
+			ID:       i + 1,
+			Submit:   now,
+			Runtime:  r,
+			Estimate: e,
+			Cores:    1 + rng.IntN(cores),
+		})
+	}
+	return t
+}
+
+func roundTrip(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ParseSWF(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return got
+}
+
+func TestSWFRoundTripPreservesHeaderAndFractions(t *testing.T) {
+	root := dist.New(20260730)
+	for iter := 0; iter < 60; iter++ {
+		tr := randomTrace(root.Split(uint64(iter)))
+		got := roundTrip(t, tr)
+		if got.Name != tr.Name {
+			t.Fatalf("iter %d: name %q != %q", iter, got.Name, tr.Name)
+		}
+		if got.MaxProcs != tr.MaxProcs {
+			t.Fatalf("iter %d: maxprocs %d != %d", iter, got.MaxProcs, tr.MaxProcs)
+		}
+		if len(got.Jobs) != len(tr.Jobs) {
+			t.Fatalf("iter %d: %d jobs != %d", iter, len(got.Jobs), len(tr.Jobs))
+		}
+		for i := range tr.Jobs {
+			// ParseSWF sorts by (submit, id); randomTrace generates in
+			// nondecreasing submit order with ascending IDs, so input
+			// order is preserved. Every field must round-trip exactly.
+			if got.Jobs[i] != tr.Jobs[i] {
+				t.Fatalf("iter %d: job %d: %+v != %+v", iter, i, got.Jobs[i], tr.Jobs[i])
+			}
+		}
+		for k, v := range tr.Header {
+			if got.Header[k] != v {
+				t.Fatalf("iter %d: header %q = %q, want %q (header dropped by writer)",
+					iter, k, got.Header[k], v)
+			}
+		}
+	}
+}
+
+// TestSWFRoundTripIdempotent: a second round trip is byte-identical — the
+// writer's output re-parses into exactly the state that reproduces it.
+func TestSWFRoundTripIdempotent(t *testing.T) {
+	tr := randomTrace(dist.New(7))
+	var first, second bytes.Buffer
+	if err := WriteSWF(&first, tr); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ParseSWF(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSWF(&second, re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("second write differs from first: the writer drops or reorders state")
+	}
+}
+
+// TestSWFRoundTripExtremeTimes pins exact float64 round-tripping of times
+// that need full precision.
+func TestSWFRoundTripExtremeTimes(t *testing.T) {
+	tr := &Trace{
+		Name:     "edge",
+		MaxProcs: 8,
+		Jobs: []Job{
+			{ID: 1, Submit: 0, Runtime: 1.0 / 3.0, Estimate: math.Pi, Cores: 1},
+			{ID: 2, Submit: 0.1 + 0.2, Runtime: 86400.000001, Estimate: 86400.000001, Cores: 8},
+			{ID: 3, Submit: 1e9, Runtime: 1, Estimate: 1, Cores: 1},
+		},
+	}
+	got := roundTrip(t, tr)
+	for i := range tr.Jobs {
+		if got.Jobs[i] != tr.Jobs[i] {
+			t.Errorf("job %d: %+v != %+v", i, got.Jobs[i], tr.Jobs[i])
+		}
+	}
+}
+
+// TestSWFWriterSkipsInternalKeys: gensched's own bookkeeping header keys
+// describe one parse and must not leak into written traces.
+func TestSWFWriterSkipsInternalKeys(t *testing.T) {
+	tr := &Trace{
+		MaxProcs: 4,
+		Header: map[string]string{
+			";gensched-skipped": "17",
+			"Acknowledge":       "the archive",
+		},
+		Jobs: []Job{{ID: 1, Submit: 0, Runtime: 1, Estimate: 1, Cores: 1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "gensched-skipped") {
+		t.Errorf("internal key leaked into output:\n%s", out)
+	}
+	if !strings.Contains(out, "; Acknowledge: the archive") {
+		t.Errorf("real header dropped:\n%s", out)
+	}
+}
