@@ -1,0 +1,169 @@
+package gensched
+
+import (
+	"errors"
+
+	"github.com/hpcsched/gensched/internal/adaptive"
+)
+
+// AutopilotConfig configures a closed-loop adaptive retrainer attached to
+// a Cluster (internal/adaptive). Every zero field selects a default;
+// Interval is required. At the default sizing one adaptation round costs
+// a few hundred milliseconds (BenchmarkAdaptiveLoop) and runs inside the
+// AdvanceTo call that makes it due.
+type AutopilotConfig struct {
+	// Window is the sliding-window capacity in observed jobs (default 512);
+	// MinWindow is the fewest jobs a retraining round needs (default 64).
+	Window    int
+	MinWindow int
+	// Interval is the logical-clock seconds between adaptation rounds
+	// (required > 0); rounds fire as the Cluster's clock crosses each
+	// multiple of it.
+	Interval float64
+	// MinDrift skips retraining while the window's characterization has
+	// moved less than this many nats since the last round (0 = retrain
+	// every round).
+	MinDrift float64
+	// SSize, QSize, Tuples, Trials size the window-matched training set
+	// (Tuples and Trials default to 4 and 256; zero SSize/QSize auto-size
+	// each round from the window's mean core request — up to |S|=128,
+	// |Q|=256 on a flood of narrow jobs — so the trials see real
+	// contention whatever the observed mix). TopK is how many distinct
+	// fitted candidates are shadow-evaluated (default 3).
+	SSize, QSize, Tuples, Trials, TopK int
+	// Margin is the relative window-AveBsld improvement a candidate must
+	// show to be promoted (default 0.05); Cooldown is the minimum logical
+	// time between promotions (default: two Intervals).
+	Margin   float64
+	Cooldown float64
+	// Workers bounds the loop's parallelism (0 = GOMAXPROCS); results
+	// never depend on it.
+	Workers int
+	// Seed drives every stochastic choice of the loop.
+	Seed uint64
+}
+
+// AdaptiveDecision records one adaptation round: the retrain instant, the
+// window characterization and drift, the shadow-evaluated candidates, and
+// the promotion outcome.
+type AdaptiveDecision = adaptive.Decision
+
+// AdaptiveCandidate is one fitted function after shadow evaluation.
+type AdaptiveCandidate = adaptive.Candidate
+
+// WindowCharacterization summarizes a window of observed traffic.
+type WindowCharacterization = adaptive.Characterization
+
+// AdaptiveLoop is the handle Autopilot returns: a read-only view of the
+// adaptation history. The loop itself runs inside the Cluster's calls —
+// Submit feeds the observation window, and AdvanceTo runs due adaptation
+// rounds and applies promotions via the policy hot-swap — so there is no
+// goroutine to manage and the loop is exactly as deterministic as the
+// stream driving the Cluster.
+type AdaptiveLoop struct {
+	c    *Cluster
+	ctrl *adaptive.Controller
+}
+
+// Autopilot closes the paper's loop on a live Cluster: it watches the
+// job stream, periodically re-runs the simulate→score→regress pipeline on
+// a sliding window of observed traffic, shadow-evaluates the refitted
+// candidates against the incumbent policy by replaying the window on a
+// digital twin, and hot-swaps the winner in when it beats the incumbent's
+// window AveBsld by the configured margin. See examples/adaptivesched for
+// the loop reacting to workload drift end to end.
+//
+// Attach the autopilot before streaming; a Cluster supports one loop.
+// The first adaptation round comes due one Interval after the cluster's
+// clock at attach time.
+func Autopilot(c *Cluster, cfg AutopilotConfig) (*AdaptiveLoop, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pilot != nil {
+		return nil, errors.New("gensched: cluster already has an autopilot attached")
+	}
+	ac := cfg.internal(c.cores, c.cfg)
+	ac.Now = c.s.Clock()
+	// The digital twin starts shadow replays from the cluster's real
+	// backlog. The probe runs inside Tick, which the Cluster only calls
+	// while already holding its lock.
+	ac.Queue = func() []Job { return c.s.QueuedJobs() }
+	ctrl, err := adaptive.New(ac)
+	if err != nil {
+		return nil, err
+	}
+	c.pilot = ctrl
+	c.pilotErr = nil
+	return &AdaptiveLoop{c: c, ctrl: ctrl}, nil
+}
+
+// internal maps the public config onto the adaptive package's, filling
+// the scheduling-regime fields from the cluster's — the single place the
+// two field lists are reconciled.
+func (cfg AutopilotConfig) internal(cores int, cc ClusterConfig) adaptive.Config {
+	return adaptive.Config{
+		Cores:         cores,
+		Backfill:      cc.Backfill,
+		BackfillOrder: cc.BackfillOrder,
+		UseEstimates:  cc.UseEstimates,
+		Tau:           cc.Tau,
+		Window:        cfg.Window,
+		MinWindow:     cfg.MinWindow,
+		Interval:      cfg.Interval,
+		MinDrift:      cfg.MinDrift,
+		SSize:         cfg.SSize,
+		QSize:         cfg.QSize,
+		Tuples:        cfg.Tuples,
+		Trials:        cfg.Trials,
+		TopK:          cfg.TopK,
+		Margin:        cfg.Margin,
+		Cooldown:      cfg.Cooldown,
+		Workers:       cfg.Workers,
+		Seed:          cfg.Seed,
+	}
+}
+
+// Decisions returns the adaptation history (a bounded log of the most
+// recent rounds), oldest first.
+func (l *AdaptiveLoop) Decisions() []AdaptiveDecision {
+	l.c.mu.Lock()
+	defer l.c.mu.Unlock()
+	return append([]AdaptiveDecision(nil), l.ctrl.Decisions()...)
+}
+
+// Promotions returns how many rounds promoted a new policy.
+func (l *AdaptiveLoop) Promotions() int {
+	l.c.mu.Lock()
+	defer l.c.mu.Unlock()
+	return l.ctrl.Promotions()
+}
+
+// Rounds returns how many rounds actually retrained (skips excluded).
+func (l *AdaptiveLoop) Rounds() int {
+	l.c.mu.Lock()
+	defer l.c.mu.Unlock()
+	return l.ctrl.Rounds()
+}
+
+// Err reports the failure that detached the loop from its Cluster, or
+// nil while the loop is healthy. Loop failures never fail the scheduling
+// call that triggered the round — check here (the daemon surfaces the
+// same condition as last_error on /v1/adapt).
+func (l *AdaptiveLoop) Err() error {
+	l.c.mu.Lock()
+	defer l.c.mu.Unlock()
+	return l.c.pilotErr
+}
+
+// TrainOnWindow runs one window-matched retraining cycle on a fixed job
+// window — the offline entry point for fitting an initial incumbent from
+// historical traffic with the same machinery the Autopilot runs live. The
+// candidates are shadow-ranked by replaying the window under the target
+// cluster's scheduling regime (cluster.Backfill, UseEstimates, Tau), so
+// the pick transfers to the cluster it will be deployed on. It returns
+// the shadow-evaluated candidates in fit-rank order and the matching
+// ready-to-use policies (named W.1, W.2, ...); candidates' Expr strings
+// round-trip through ParsePolicy for deployment under any name.
+func TrainOnWindow(window []Job, cores int, cluster ClusterConfig, cfg AutopilotConfig) ([]AdaptiveCandidate, []Policy, error) {
+	return adaptive.TrainWindow(window, cfg.internal(cores, cluster))
+}

@@ -615,6 +615,41 @@ func BenchmarkOnlineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveLoop measures one full closed-loop adaptation round —
+// window characterization, window-matched tuple generation and trial
+// scoring, the 576-candidate refit, and the shadow replay of the window
+// against the incumbent — at the adaptive subsystem's default sizing.
+// This is the work cmd/schedd performs inline on the scheduler thread
+// whenever a round comes due, so its cost bounds the latency spike a
+// retraining request stream sees.
+func BenchmarkAdaptiveLoop(b *testing.B) {
+	rng := dist.New(4242)
+	jobs := make([]workload.Job, 256)
+	at := 0.0
+	for i := range jobs {
+		at += 8 + 8*rng.Float64()
+		jobs[i] = workload.Job{
+			ID:      i + 1,
+			Submit:  at,
+			Runtime: 30 + rng.Float64()*2970,
+			Cores:   1 << rng.IntN(5),
+		}
+		jobs[i].Estimate = jobs[i].Runtime
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, _, err := TrainOnWindow(jobs, 256, ClusterConfig{Backfill: BackfillEASY}, AutopilotConfig{
+			Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
 func BenchmarkMicroPolicyScore(b *testing.B) {
 	policies := sched.Registry()
 	view := sched.JobView{Runtime: 3600, Cores: 16, Submit: 7200, Wait: 600}

@@ -3,6 +3,7 @@ package gensched
 import (
 	"sync"
 
+	"github.com/hpcsched/gensched/internal/adaptive"
 	"github.com/hpcsched/gensched/internal/online"
 )
 
@@ -26,8 +27,19 @@ import (
 // Flush and AdvanceTo are scratch, valid until the next call on the
 // Cluster; copy them to retain.
 type Cluster struct {
-	mu sync.Mutex
-	s  *online.Scheduler
+	mu    sync.Mutex
+	s     *online.Scheduler
+	cores int
+	cfg   ClusterConfig
+
+	// pilot is the attached adaptive retraining loop, if any (see
+	// Autopilot): Submit feeds its observation window and AdvanceTo runs
+	// its due adaptation rounds under the same lock, so loop decisions
+	// are serialized with the stream that causes them. A loop failure
+	// detaches the pilot and is reported by AdaptiveLoop.Err — it never
+	// fails the scheduling call that happened to trigger the round.
+	pilot    *adaptive.Controller
+	pilotErr error
 }
 
 // ClusterConfig configures a Cluster. The scheduling fields mean exactly
@@ -72,7 +84,7 @@ func NewCluster(cores int, cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{s: s}, nil
+	return &Cluster{s: s, cores: cores, cfg: cfg}, nil
 }
 
 // Clock returns the cluster's current time.
@@ -88,7 +100,16 @@ func (c *Cluster) Clock() float64 {
 func (c *Cluster) Submit(j Job) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.s.Submit(j)
+	if err := c.s.Submit(j); err != nil {
+		return err
+	}
+	if c.pilot != nil {
+		if j.Submit == 0 {
+			j.Submit = c.s.Clock() // the stamp Submit applied
+		}
+		c.pilot.Observe(j)
+	}
+	return nil
 }
 
 // Complete reports that a running job finished at the current instant.
@@ -107,11 +128,30 @@ func (c *Cluster) Flush() []JobStart {
 }
 
 // AdvanceTo moves the clock forward to t, first flushing any pending pass
-// (whose starts are returned). Going backward is an error.
+// (whose starts are returned). Going backward is an error. With an
+// Autopilot attached, any adaptation round due at t runs here, after the
+// clock has moved, so a promoted policy governs the passes from t on. A
+// failing round never fails the advance — the clock has already moved
+// and the starts are real; the loop detaches instead and the failure is
+// reported by AdaptiveLoop.Err.
 func (c *Cluster) AdvanceTo(t float64) ([]JobStart, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.s.AdvanceTo(t)
+	starts, err := c.s.AdvanceTo(t)
+	if err != nil {
+		return starts, err
+	}
+	if c.pilot != nil {
+		d, err := c.pilot.Tick(t, c.s.Policy())
+		if err == nil && d != nil && d.Promoted {
+			err = c.s.SetPolicy(d.Policy)
+		}
+		if err != nil {
+			c.pilotErr = err
+			c.pilot = nil // a broken loop must not re-fail every advance
+		}
+	}
+	return starts, nil
 }
 
 // SwapPolicy hot-swaps the queue-ordering policy without dropping any

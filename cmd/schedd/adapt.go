@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"github.com/hpcsched/gensched/internal/adaptive"
+)
+
+// The /v1/adapt endpoint controls the daemon's closed-loop adaptive
+// retrainer (internal/adaptive):
+//
+//	POST /v1/adapt {"action":"start","interval":3600,...}  attach a loop
+//	POST /v1/adapt {"action":"stop"}                       detach it
+//	GET  /v1/adapt                                         loop status
+//
+// While a loop is attached, every successful submit feeds its observation
+// window, and every mutating request that moves the logical clock also
+// runs any adaptation round that came due — the periodic trigger rides on
+// the clock the requests already carry, so the daemon stays free of
+// background goroutines and the loop stays deterministic for a given
+// request stream. Promotions apply through the same policy hot-swap the
+// /v1/policy endpoint uses, under the same lock.
+//
+// A round retrains from the observed window and shadow-evaluates the
+// candidates, which costs a few hundred milliseconds at the default
+// sizing (BenchmarkAdaptiveLoop); it runs on the scheduler thread — the
+// request that trips an interval boundary stalls for the round, and the
+// daemon serves nothing else meanwhile — so shrink tuples/trials if that
+// latency spike matters.
+
+// adaptRequest is the /v1/adapt POST body. Zero sizing fields select the
+// adaptive package defaults; interval is required for "start".
+type adaptRequest struct {
+	Action    string  `json:"action"` // start | stop
+	Window    int     `json:"window"`
+	MinWindow int     `json:"min_window"`
+	Interval  float64 `json:"interval"`
+	MinDrift  float64 `json:"min_drift"`
+	SSize     int     `json:"ssize"`
+	QSize     int     `json:"qsize"`
+	Tuples    int     `json:"tuples"`
+	Trials    int     `json:"trials"`
+	TopK      int     `json:"topk"`
+	Margin    float64 `json:"margin"`
+	Cooldown  float64 `json:"cooldown"`
+	Workers   int     `json:"workers"`
+	Seed      uint64  `json:"seed"`
+}
+
+func (sv *server) adapt(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		sv.adaptStatus(w)
+	case http.MethodPost:
+		sv.adaptControl(w, r)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// validateAdapt caps the sizing fields a start request may carry: the
+// window is backed by a real allocation and every round runs inline
+// under the server lock, so one unbounded request must not be able to
+// OOM the daemon or wedge it in an hours-long round. Deliberately larger
+// experiments belong in the library API, not at the network boundary.
+func validateAdapt(req *adaptRequest) error {
+	for _, f := range []struct {
+		name string
+		got  int
+		max  int
+	}{
+		{"window", req.Window, 1 << 16},
+		{"min_window", req.MinWindow, 1 << 16},
+		{"tuples", req.Tuples, 64},
+		{"trials", req.Trials, 1 << 16},
+		{"ssize", req.SSize, 4096},
+		{"qsize", req.QSize, 4096},
+		{"topk", req.TopK, 32},
+		{"workers", req.Workers, 256},
+	} {
+		if f.got < 0 || f.got > f.max {
+			return fmt.Errorf("%s %d outside [0, %d]", f.name, f.got, f.max)
+		}
+	}
+	return nil
+}
+
+func (sv *server) adaptControl(w http.ResponseWriter, r *http.Request) {
+	var req adaptRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	switch req.Action {
+	case "start":
+		if err := validateAdapt(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sv.mu.Lock()
+		if sv.ad != nil {
+			sv.mu.Unlock()
+			writeErr(w, http.StatusConflict, "adaptive loop already running; stop it first")
+			return
+		}
+		opt := sv.s.Options()
+		ctrl, err := adaptive.New(adaptive.Config{
+			Cores:         sv.s.Status().Cores,
+			Now:           sv.s.Clock(),
+			Backfill:      opt.Backfill,
+			BackfillOrder: opt.BackfillOrder,
+			UseEstimates:  opt.UseEstimates,
+			Tau:           opt.Tau,
+			Window:        req.Window,
+			MinWindow:     req.MinWindow,
+			Interval:      req.Interval,
+			MinDrift:      req.MinDrift,
+			SSize:         req.SSize,
+			QSize:         req.QSize,
+			Tuples:        req.Tuples,
+			Trials:        req.Trials,
+			TopK:          req.TopK,
+			Margin:        req.Margin,
+			Cooldown:      req.Cooldown,
+			Workers:       req.Workers,
+			Seed:          req.Seed,
+			// Runs inside adaptStep, under sv.mu.
+			Queue: sv.s.QueuedJobs,
+		})
+		if err == nil {
+			sv.ad = ctrl
+			sv.adErr = nil
+		}
+		sv.mu.Unlock()
+		if err != nil {
+			writeErr(w, http.StatusConflict, err.Error())
+			return
+		}
+		sv.adaptStatus(w)
+	case "stop":
+		sv.mu.Lock()
+		sv.ad = nil
+		sv.mu.Unlock()
+		sv.adaptStatus(w)
+	default:
+		writeErr(w, http.StatusBadRequest, "action must be \"start\" or \"stop\"")
+	}
+}
+
+// adaptStep runs any adaptation round due at the current clock and
+// applies its promotion. It is called with sv.mu held, after a mutating
+// request succeeded. Loop errors are recorded for /v1/adapt rather than
+// failing the request that happened to trigger the round.
+func (sv *server) adaptStep() {
+	if sv.ad == nil {
+		return
+	}
+	d, err := sv.ad.Tick(sv.s.Clock(), sv.s.Policy())
+	if err != nil {
+		sv.adErr = err
+		sv.ad = nil // a broken loop must not re-fail every request
+		return
+	}
+	if d != nil && d.Promoted {
+		if err := sv.s.SetPolicy(d.Policy); err != nil {
+			sv.adErr = err
+		}
+	}
+}
+
+// adaptDecision is the status rendering of one adaptation round.
+type adaptDecision struct {
+	At            float64          `json:"at"`
+	Round         int              `json:"round,omitempty"`
+	Window        int              `json:"window"`
+	Drift         float64          `json:"drift,omitempty"`
+	Skipped       bool             `json:"skipped,omitempty"`
+	Reason        string           `json:"reason"`
+	Incumbent     string           `json:"incumbent"`
+	IncumbentBsld float64          `json:"incumbent_bsld,omitempty"`
+	Candidates    []adaptCandidate `json:"candidates,omitempty"`
+	Promoted      bool             `json:"promoted"`
+	PolicyExpr    string           `json:"policy_expr,omitempty"`
+}
+
+type adaptCandidate struct {
+	Expr    string  `json:"expr"`
+	Rank    float64 `json:"rank"`
+	AveBsld float64 `json:"ave_bsld"`
+}
+
+func renderDecision(d *adaptive.Decision) *adaptDecision {
+	out := &adaptDecision{
+		At:            d.At,
+		Round:         d.Round,
+		Window:        d.Window,
+		Skipped:       d.Skipped,
+		Reason:        d.Reason,
+		Incumbent:     d.Incumbent,
+		IncumbentBsld: d.IncumbentBsld,
+		Promoted:      d.Promoted,
+		PolicyExpr:    d.PolicyExpr,
+	}
+	if !math.IsInf(d.Drift, 0) {
+		out.Drift = d.Drift
+	}
+	for _, c := range d.Candidates {
+		out.Candidates = append(out.Candidates, adaptCandidate{Expr: c.Expr, Rank: c.Rank, AveBsld: c.AveBsld})
+	}
+	return out
+}
+
+func (sv *server) adaptStatus(w http.ResponseWriter) {
+	resp := struct {
+		Enabled    bool           `json:"enabled"`
+		Window     int            `json:"window,omitempty"`
+		NextCheck  float64        `json:"next_check,omitempty"`
+		Rounds     int            `json:"rounds"`
+		Promotions int            `json:"promotions"`
+		Policy     string         `json:"policy"`
+		LastError  string         `json:"last_error,omitempty"`
+		Last       *adaptDecision `json:"last,omitempty"`
+	}{}
+	sv.mu.Lock()
+	resp.Policy = sv.s.Policy().Name()
+	if sv.adErr != nil {
+		resp.LastError = sv.adErr.Error()
+	}
+	if sv.ad != nil {
+		resp.Enabled = true
+		resp.Window = sv.ad.WindowLen()
+		resp.NextCheck = sv.ad.NextCheck()
+		resp.Rounds = sv.ad.Rounds()
+		resp.Promotions = sv.ad.Promotions()
+		if d := sv.ad.LastDecision(); d != nil {
+			resp.Last = renderDecision(d)
+		}
+	}
+	sv.mu.Unlock()
+	marshalJSON(w, resp)
+}

@@ -10,6 +10,8 @@
 //	POST /v1/complete  {"id":1,"now":127.5}
 //	POST /v1/advance   {"now":200}
 //	POST /v1/policy    {"name":"F1"}  or  {"name":"L1","expr":"log10(r)*n + 870*log10(s)"}
+//	POST /v1/adapt     {"action":"start","interval":3600,...}  or  {"action":"stop"}
+//	GET  /v1/adapt     adaptive-loop status (rounds, promotions, last decision)
 //	GET  /v1/status
 //	GET  /v1/metrics
 //	GET  /healthz

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hpcsched/gensched/internal/adaptive"
 	"github.com/hpcsched/gensched/internal/online"
 	"github.com/hpcsched/gensched/internal/workload"
 )
@@ -26,6 +27,12 @@ type server struct {
 	realClock bool
 	epoch     time.Time
 
+	// ad is the attached adaptive retraining loop, if /v1/adapt started
+	// one (see adapt.go); adErr records its last failure. Both are
+	// guarded by mu like every other scheduler interaction.
+	ad    *adaptive.Controller
+	adErr error
+
 	bufs sync.Pool // *[]byte response buffers
 }
 
@@ -44,6 +51,7 @@ func (sv *server) handler() http.Handler {
 	mux.HandleFunc("/v1/complete", sv.post(sv.complete))
 	mux.HandleFunc("/v1/advance", sv.post(sv.advance))
 	mux.HandleFunc("/v1/policy", sv.post(sv.policy))
+	mux.HandleFunc("/v1/adapt", sv.adapt)
 	mux.HandleFunc("/v1/status", sv.get(sv.status))
 	mux.HandleFunc("/v1/metrics", sv.get(sv.metrics))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -124,6 +132,7 @@ func (sv *server) mutate(w http.ResponseWriter, op func() ([]online.Start, error
 	sv.mu.Lock()
 	starts, err := op()
 	if err == nil {
+		sv.adaptStep() // run any adaptation round the clock made due
 		n := 0
 		buf = appendStarts(buf, &n, starts)
 		buf = append(buf, `],"now":`...)
@@ -148,7 +157,14 @@ func (sv *server) submit(w http.ResponseWriter, req *request) error {
 		Cores:    req.Cores,
 	}
 	return sv.mutate(w, func() ([]online.Start, error) {
-		return sv.s.SubmitAt(sv.now(req), job)
+		starts, err := sv.s.SubmitAt(sv.now(req), job)
+		if err == nil && sv.ad != nil {
+			if job.Submit == 0 {
+				job.Submit = sv.s.Clock() // the stamp SubmitAt applied
+			}
+			sv.ad.Observe(job)
+		}
+		return starts, err
 	})
 }
 

@@ -1,0 +1,377 @@
+package adaptive
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// stream generates n synthetic jobs starting at t0: the "big" regime is a
+// trickle of long wide jobs (the traffic an offline-trained incumbent
+// saw), the "small" regime an overloaded flood of short narrow jobs with
+// heterogeneous areas — the mix where area-ordering beats FCFS-like
+// aging, so a policy carrying a large s-coefficient goes stale.
+func stream(seed uint64, n int, t0 float64, small bool) []workload.Job {
+	rng := dist.New(seed)
+	jobs := make([]workload.Job, 0, n)
+	at := t0
+	for i := 0; i < n; i++ {
+		var j workload.Job
+		if small {
+			// ~1.6x offered load on 256 cores: the queue builds, so the
+			// policy order matters and a stale incumbent costs real AveBsld.
+			at += 8 + 8*rng.Float64()
+			j = workload.Job{
+				Submit:  at,
+				Runtime: math.Exp(math.Log(30) + rng.Float64()*math.Log(100)), // 30s .. 3000s
+				Cores:   []int{2, 4, 8, 16}[rng.IntN(4)],
+			}
+		} else {
+			at += 1800 + 1800*rng.Float64()
+			j = workload.Job{
+				Submit:  at,
+				Runtime: 3600 * (1 + 4*rng.Float64()),
+				Cores:   []int{32, 64, 128, 256}[rng.IntN(4)],
+			}
+		}
+		j.ID = i + 1
+		j.Estimate = j.Runtime
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// stale is the incumbent the drift scenarios start from: the paper's F3
+// shape, whose huge s-coefficient is calibrated to big-job areas; on a
+// small-job flood it degenerates to near-FCFS.
+func stale(t *testing.T) sched.Policy {
+	t.Helper()
+	p, err := sched.ParseExpr("STALE", "r*n + 6.86e6*log10(s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testConfig(seed uint64) Config {
+	return Config{
+		Cores:     256,
+		Interval:  43200,
+		Window:    192,
+		MinWindow: 64,
+		SSize:     6,
+		QSize:     12,
+		Tuples:    2,
+		Trials:    48,
+		TopK:      2,
+		Margin:    0.05,
+		Seed:      seed,
+	}
+}
+
+func TestWindowRing(t *testing.T) {
+	w := newWindow(4)
+	for i := 1; i <= 6; i++ {
+		w.add(workload.Job{ID: i})
+	}
+	if w.len() != 4 {
+		t.Fatalf("len = %d, want 4", w.len())
+	}
+	snap := w.snapshot()
+	for i, want := range []int{3, 4, 5, 6} {
+		if snap[i].ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d (snapshot %v)", i, snap[i].ID, want, snap)
+		}
+	}
+	// The snapshot is a copy: later adds must not mutate it.
+	w.add(workload.Job{ID: 99})
+	if snap[0].ID != 3 {
+		t.Fatal("snapshot aliased the ring buffer")
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	win := []workload.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Cores: 512},
+		{ID: 2, Submit: 100, Runtime: 200, Cores: 1024},
+		{ID: 3, Submit: 300, Runtime: 400, Cores: 1536},
+	}
+	c := Characterize(win, 4096)
+	if c.Jobs != 3 {
+		t.Fatalf("Jobs = %d", c.Jobs)
+	}
+	if c.AllocUnit != 512 {
+		t.Fatalf("AllocUnit = %d, want 512 (gcd of 512,1024,1536)", c.AllocUnit)
+	}
+	if c.Span != 300 {
+		t.Fatalf("Span = %g", c.Span)
+	}
+	wantUtil := (100*512 + 200*1024 + 400*1536) / (4096.0 * 300)
+	if math.Abs(c.Utilization-wantUtil) > 1e-12 {
+		t.Fatalf("Utilization = %g, want %g", c.Utilization, wantUtil)
+	}
+	if d := c.DriftFrom(c); d != 0 {
+		t.Fatalf("self-drift = %g, want 0", d)
+	}
+
+	// Regime change shows up as large drift; a reseeded draw of the same
+	// regime shows up as small drift.
+	big1 := Characterize(stream(1, 128, 0, false), 256)
+	big2 := Characterize(stream(2, 128, 0, false), 256)
+	small := Characterize(stream(3, 128, 0, true), 256)
+	within, across := big1.DriftFrom(big2), big1.DriftFrom(small)
+	if across < 4*within {
+		t.Fatalf("regime drift %.3f not well above within-regime drift %.3f", across, within)
+	}
+	if across < 1 {
+		t.Fatalf("regime change drift = %.3f nats, expected >= 1", across)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Interval: 1}); err != ErrNoCores {
+		t.Fatalf("missing cores: err = %v", err)
+	}
+	if _, err := New(Config{Cores: 4}); err != ErrNoInterval {
+		t.Fatalf("missing interval: err = %v", err)
+	}
+	c, err := New(Config{Cores: 4, Interval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Tick(100, nil); err != ErrNoPolicy {
+		t.Fatalf("nil incumbent: err = %v", err)
+	}
+}
+
+func TestAttachTimeAnchor(t *testing.T) {
+	// A loop attached to a long-running scheduler schedules its first
+	// round one interval after the attach-time clock, not centuries
+	// overdue at k·Interval from zero.
+	c, err := New(Config{Cores: 4, Interval: 100, Now: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NextCheck() != 1e6+100 {
+		t.Fatalf("next check = %g, want %g", c.NextCheck(), 1e6+100.0)
+	}
+	if d, err := c.Tick(1e6+50, sched.FCFS()); err != nil || d != nil {
+		t.Fatalf("round fired before one interval elapsed: d=%v err=%v", d, err)
+	}
+	d, err := c.Tick(1e6+100, sched.FCFS())
+	if err != nil || d == nil {
+		t.Fatalf("first round did not fire on schedule: d=%v err=%v", d, err)
+	}
+}
+
+func TestTickNotDueReturnsNil(t *testing.T) {
+	c, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Tick(c.NextCheck()-1, sched.FCFS())
+	if err != nil || d != nil {
+		t.Fatalf("before the interval: d=%v err=%v", d, err)
+	}
+}
+
+func TestMinWindowClampedToWindow(t *testing.T) {
+	// MinWindow above the ring capacity would idle the loop forever; it
+	// clamps so a full window retrains.
+	cfg := testConfig(1)
+	cfg.Window = 32
+	cfg.MinWindow = 64
+	cfg.Tuples, cfg.Trials, cfg.QSize, cfg.SSize = 1, 16, 8, 4
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range stream(1, 48, 0, true) {
+		c.Observe(j)
+	}
+	d, err := c.Tick(c.NextCheck(), sched.FCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Reason == "window too small" {
+		t.Fatalf("full 32-job window did not retrain: %+v", d)
+	}
+}
+
+func TestTickSurvivesHugeClockJump(t *testing.T) {
+	// A daemon may legally advance its logical clock by an enormous
+	// amount in one request; rescheduling the next round must be O(1),
+	// not one step per skipped interval.
+	c, err := New(Config{Cores: 4, Interval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Tick(1e12, sched.FCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || !d.Skipped {
+		t.Fatalf("decision = %+v", d)
+	}
+	if c.NextCheck() != 1e12+1 {
+		t.Fatalf("next check = %g, want %g", c.NextCheck(), 1e12+1.0)
+	}
+}
+
+func TestTickSkipsSmallWindow(t *testing.T) {
+	c, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range stream(1, 8, 0, true) {
+		c.Observe(j)
+	}
+	d, err := c.Tick(c.NextCheck(), sched.FCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || !d.Skipped || d.Reason != "window too small" {
+		t.Fatalf("decision = %+v, want skip for small window", d)
+	}
+	if c.Rounds() != 0 {
+		t.Fatalf("rounds = %d after a skip", c.Rounds())
+	}
+	// Skipped opportunities still advance the schedule.
+	if d2, _ := c.Tick(d.At, sched.FCFS()); d2 != nil {
+		t.Fatal("second tick at the same instant ran again")
+	}
+}
+
+func TestLoopPromotesAwayFromStalePolicy(t *testing.T) {
+	cfg := testConfig(7)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := stale(t)
+	for _, j := range stream(11, 256, 0, true) {
+		c.Observe(j)
+	}
+	d, err := c.Tick(cfg.Interval, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Skipped {
+		t.Fatalf("decision = %+v, want a retraining round", d)
+	}
+	if !d.Promoted {
+		t.Fatalf("loop did not promote away from the stale policy: %+v", d)
+	}
+	best := d.Best()
+	if got, inc := d.Candidates[best].AveBsld, d.IncumbentBsld; got >= inc*(1-cfg.Margin) {
+		t.Fatalf("promoted candidate AveBsld %.3f does not beat incumbent %.3f by the margin", got, inc)
+	}
+	if d.Policy == nil || d.PolicyExpr == "" {
+		t.Fatalf("promoted decision carries no policy: %+v", d)
+	}
+	if !strings.HasPrefix(d.Policy.Name(), "A1.") {
+		t.Fatalf("promoted policy name = %q", d.Policy.Name())
+	}
+	// The promoted expression round-trips through the policy parser, so
+	// it can be deployed through /v1/policy or a config file.
+	if _, err := sched.ParseExpr("X", d.PolicyExpr); err != nil {
+		t.Fatalf("promoted expression %q does not parse: %v", d.PolicyExpr, err)
+	}
+	if c.Promotions() != 1 {
+		t.Fatalf("promotions = %d", c.Promotions())
+	}
+
+	// Immediately afterwards the loop is cooling down.
+	d2, err := c.Tick(c.NextCheck(), d.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 == nil || !d2.Skipped || d2.Reason != "cooling down" {
+		t.Fatalf("post-promotion round = %+v, want cooling down", d2)
+	}
+}
+
+func TestStationaryTrafficSkipsAfterFirstRound(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Interval = 1800 // the small-job stream spans ~3.5 hours
+	cfg.MinDrift = 0.25
+	cfg.Cooldown = 1 // isolate the drift gate from the promotion gate
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := stream(21, 1024, 0, true)
+	inc := stale(t)
+	next := c.NextCheck()
+	var decisions []*Decision
+	for _, j := range jobs {
+		c.Observe(j)
+		if j.Submit >= next {
+			d, err := c.Tick(j.Submit, inc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != nil {
+				decisions = append(decisions, d)
+				if d.Promoted {
+					inc = d.Policy
+				}
+			}
+			next = c.NextCheck()
+		}
+	}
+	if len(decisions) < 2 {
+		t.Fatalf("only %d adaptation rounds over the stream", len(decisions))
+	}
+	if c.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want exactly 1 (stationary traffic retrains once)", c.Rounds())
+	}
+	for _, d := range decisions[1:] {
+		if !d.Skipped || d.Reason != "stationary" {
+			t.Fatalf("stationary round = %+v, want drift skip", d)
+		}
+		if d.Drift >= cfg.MinDrift {
+			t.Fatalf("drift %.3f not below threshold %.3f", d.Drift, cfg.MinDrift)
+		}
+	}
+}
+
+func TestTrainWindow(t *testing.T) {
+	cfg := testConfig(5)
+	win := stream(31, 128, 0, false)
+	cands, pols, err := TrainWindow(win, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 || len(cands) != len(pols) {
+		t.Fatalf("got %d candidates, %d policies", len(cands), len(pols))
+	}
+	for i, cand := range cands {
+		if pols[i].Name() != trainedName(i) {
+			t.Fatalf("policy %d name = %q", i, pols[i].Name())
+		}
+		if cand.AveBsld < 1 || math.IsNaN(cand.AveBsld) {
+			t.Fatalf("candidate %d AveBsld = %g", i, cand.AveBsld)
+		}
+		// The candidate's shadow score is reproducible: replaying the
+		// window under the parsed policy yields the same AveBsld.
+		res, err := sim.Run(sim.Platform{Cores: cfg.Cores}, win, sim.Options{Policy: pols[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AVEbsld != cand.AveBsld {
+			t.Fatalf("candidate %d: shadow %.6f vs replay %.6f", i, cand.AveBsld, res.AVEbsld)
+		}
+	}
+	// Too small a window is a typed error.
+	if _, _, err := TrainWindow(win[:4], cfg); err == nil {
+		t.Fatal("tiny window accepted")
+	} else if _, ok := err.(*SkipError); !ok {
+		t.Fatalf("err = %T(%v), want *SkipError", err, err)
+	}
+}

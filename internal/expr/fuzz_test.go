@@ -19,6 +19,12 @@ func FuzzParse(f *testing.F) {
 	f.Add("r*n*s")
 	f.Add("((((")
 	f.Add("1/0*r + n + s")
+	// Seed every candidate shape of the family (all 576 forms), rendered
+	// with non-unit coefficients so the corpus covers coefficient parsing
+	// in every operator/base combination, not just the hand-picked cases.
+	for _, form := range Enumerate() {
+		f.Add(Func{Form: form, C: [3]float64{1.5, 2.25, 870.5}}.Compact())
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		fn, err := Parse(input)
 		if err != nil {

@@ -1,0 +1,134 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+// evalGrid spans the training ranges of (r, n, s), plus the clamp edge.
+var evalGrid = [][3]float64{
+	{1, 1, 1}, {10, 2, 60}, {100, 8, 3600}, {900, 16, 7200},
+	{3600, 64, 43200}, {27000, 256, 86400}, {500, 3, 700000},
+}
+
+// equivalent reports whether two functions compute the same values on the
+// grid, to the 6-significant-digit precision Compact renders.
+func equivalent(a, b Func) bool {
+	for _, p := range evalGrid {
+		va, vb := a.Eval(p[0], p[1], p[2]), b.Eval(p[0], p[1], p[2])
+		if math.IsInf(va, 0) && math.IsInf(vb, 0) && math.Signbit(va) == math.Signbit(vb) {
+			continue
+		}
+		if math.Abs(va-vb) > 1e-5*(1+math.Abs(va)) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderEquivalent reports whether two functions induce the same ordering
+// over the grid points — the property that matters for a scheduling
+// policy (ties excepted; the grid has none for these functions).
+func orderEquivalent(a, b Func) bool {
+	for i := range evalGrid {
+		for k := i + 1; k < len(evalGrid); k++ {
+			ai := a.Eval(evalGrid[i][0], evalGrid[i][1], evalGrid[i][2])
+			ak := a.Eval(evalGrid[k][0], evalGrid[k][1], evalGrid[k][2])
+			bi := b.Eval(evalGrid[i][0], evalGrid[i][1], evalGrid[i][2])
+			bk := b.Eval(evalGrid[k][0], evalGrid[k][1], evalGrid[k][2])
+			if (ai < ak) != (bi < bk) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestTable3RoundTrip runs every Table 3 policy string — the exact
+// textual forms the fitting tools print and deployments feed back through
+// ParsePolicy — through parse → simplify → re-print → re-parse, and
+// requires algebraic equivalence at every step.
+func TestTable3RoundTrip(t *testing.T) {
+	table3 := []struct {
+		name string
+		src  string
+	}{
+		{"F1", "log10(r)*n + 870*log10(s)"},
+		{"F2", "sqrt(r)*n + 2.56e4*log10(s)"},
+		{"F3", "r*n + 6.86e6*log10(s)"},
+		{"F4", "r*sqrt(n) + 5.30e5*log10(s)"},
+		// Scaled variants: the same policies with the multiplicative
+		// group's constants not yet divided out, the raw shape a fit
+		// produces before Table 3 presentation.
+		{"F1-raw", "2*log10(r)*3*n + 5220*log10(s)"},
+		{"F3-raw", "0.5*r*4*n + 1.372e7*log10(s)"},
+	}
+	for _, tc := range table3 {
+		f, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("%s: %q does not parse: %v", tc.name, tc.src, err)
+			continue
+		}
+		// Simplify: Table 3 presentation divides the multiplicative
+		// group's scale out; the induced scheduling order must not move.
+		simplified, ok := f.Simplified()
+		if !ok {
+			t.Errorf("%s: %q did not simplify", tc.name, tc.src)
+		}
+		if simplified.C[0] != 1 || simplified.C[1] != 1 {
+			t.Errorf("%s: simplified coefficients %v, want unit r and n terms", tc.name, simplified.C)
+		}
+		if !orderEquivalent(f, simplified) {
+			t.Errorf("%s: simplification changed the induced order", tc.name)
+		}
+		// Re-print and re-parse: the compact rendering is a faithful
+		// round trip at 6 significant digits.
+		back, err := Parse(simplified.Compact())
+		if err != nil {
+			t.Errorf("%s: Compact() %q does not re-parse: %v", tc.name, simplified.Compact(), err)
+			continue
+		}
+		if !equivalent(simplified, back) {
+			t.Errorf("%s: %q re-parses to a different function", tc.name, simplified.Compact())
+		}
+		// And the paper's published string stays order-equivalent to its
+		// whole round trip.
+		if !orderEquivalent(f, back) {
+			t.Errorf("%s: full round trip changed the induced order", tc.name)
+		}
+	}
+}
+
+// TestAllFormsRoundTrip pushes every one of the 576 candidate shapes
+// through print → parse → print: whatever the fitting pipeline can
+// produce must survive persistence as a configuration string.
+func TestAllFormsRoundTrip(t *testing.T) {
+	forms := Enumerate()
+	if len(forms) != 576 {
+		t.Fatalf("Enumerate() = %d forms, want 576", len(forms))
+	}
+	coefs := [3]float64{1.5, 2.25, 870.5}
+	for _, form := range forms {
+		f := Func{Form: form, C: coefs}
+		src := f.Compact()
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("form %v: Compact() %q does not parse: %v", form, src, err)
+		}
+		if back.Form != form {
+			t.Fatalf("form %v: round trip changed the form to %v (via %q)", form, back.Form, src)
+		}
+		if !equivalent(f, back) {
+			t.Fatalf("form %v: round trip changed values (via %q)", form, src)
+		}
+		// Second generation must be a fixed point: printing the parsed
+		// function and parsing again changes nothing.
+		again, err := Parse(back.Compact())
+		if err != nil {
+			t.Fatalf("form %v: second-generation %q does not parse: %v", form, back.Compact(), err)
+		}
+		if !equivalent(back, again) {
+			t.Fatalf("form %v: second generation diverged", form)
+		}
+	}
+}

@@ -115,6 +115,7 @@ var (
 // with Submit/Complete/AdvanceTo/Flush.
 type Scheduler struct {
 	eng    *schedcore.Engine
+	opt    Options // current configuration; Policy tracks SetPolicy swaps
 	policy sched.Policy
 	tau    float64
 
@@ -146,12 +147,14 @@ func New(cores int, opt Options) (*Scheduler, error) {
 		tau = sim.DefaultTau
 	}
 	s := &Scheduler{
+		opt:         opt,
 		policy:      opt.Policy,
 		tau:         tau,
 		byID:        make(map[int]int),
 		firstSubmit: math.Inf(1),
 		lastFinish:  math.Inf(-1),
 	}
+	s.opt.Tau = tau
 	s.eng = schedcore.NewEngine(cores, schedcore.Config{
 		Policy:              opt.Policy,
 		UseEstimates:        opt.UseEstimates,
@@ -329,12 +332,19 @@ func (s *Scheduler) SetPolicy(p sched.Policy) error {
 		return ErrNoPolicy
 	}
 	s.policy = p
+	s.opt.Policy = p
 	s.eng.SetPolicy(p)
 	return nil
 }
 
 // Policy returns the active queue-ordering policy.
 func (s *Scheduler) Policy() sched.Policy { return s.policy }
+
+// Options returns the scheduler's current configuration: the options it
+// was built with, with Tau resolved and Policy tracking SetPolicy swaps.
+// Digital-twin replays (the adaptive loop's shadow evaluation) use it to
+// reproduce the live scheduling regime exactly.
+func (s *Scheduler) Options() Options { return s.opt }
 
 // Err returns the first invariant violation recorded under Options.Check,
 // or nil.
@@ -374,6 +384,11 @@ func (s *Scheduler) Metrics() Metrics {
 	}
 	return m
 }
+
+// QueuedJobs returns copies of the jobs currently waiting, in queue
+// priority order. The adaptive retraining loop replays them in its shadow
+// evaluation so the digital twin reproduces the cluster's actual backlog.
+func (s *Scheduler) QueuedJobs() []workload.Job { return s.eng.QueuedJobs(nil) }
 
 // MaxQueueLen returns the waiting-queue high-water mark.
 func (s *Scheduler) MaxQueueLen() int { return s.eng.MaxQueueLen() }

@@ -250,6 +250,19 @@ func (e *Engine) Task(ti int) *Task { return &e.tasks[ti] }
 // QueueLen returns the number of waiting tasks.
 func (e *Engine) QueueLen() int { return len(e.queue) }
 
+// QueuedJobs appends a copy of every waiting (not yet started) task's job
+// to buf, in queue priority order, and returns the extended slice. The
+// adaptive loop's shadow evaluation replays them so its digital twin
+// starts from the cluster's real backlog.
+func (e *Engine) QueuedJobs(buf []workload.Job) []workload.Job {
+	for _, ti := range e.queue {
+		if t := &e.tasks[ti]; !t.Started && !t.Done {
+			buf = append(buf, t.Job)
+		}
+	}
+	return buf
+}
+
 // RunningLen returns the number of running tasks.
 func (e *Engine) RunningLen() int { return len(e.running) }
 

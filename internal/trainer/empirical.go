@@ -1,0 +1,76 @@
+package trainer
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// SampleTuple draws one (S, Q) training tuple by bootstrap-resampling an
+// observed job window instead of the Lublin model — the window-matched
+// counterpart of GenerateTuple that the adaptive retraining loop uses.
+// Task characteristics (runtime, estimate, cores) are resampled uniformly
+// with replacement from the window, so the tuple's r/n marginals and their
+// correlation match the recently observed traffic; Q arrival times are the
+// cumulative sum of gaps resampled from the window's empirical
+// inter-arrival distribution, so the offered load matches too. As in
+// GenerateTuple, S establishes a realistic initial resource state and Q is
+// the measured task set.
+//
+// The tuple is anchored at the window's own epoch: S is released at the
+// window's first submit time and Q accumulates from there. Policies score
+// the absolute arrival time s, so coefficients fitted against rebased-to-
+// zero arrivals would be calibrated to the wrong s scale and transfer
+// poorly to the very window the candidate is then shadow-evaluated and
+// deployed on.
+//
+// The window is expected in submit order (the sliding windows the
+// adaptive loop maintains are; mildly out-of-order submits are treated as
+// simultaneous) and must hold at least two jobs; core requests larger
+// than the training machine are clamped. All randomness derives from the
+// seed, so a tuple is reproducible bit for bit.
+func SampleTuple(window []workload.Job, sSize, qSize, cores int, seed uint64) (Tuple, error) {
+	if sSize < 0 || qSize <= 0 {
+		return Tuple{}, fmt.Errorf("trainer: need positive |Q| and non-negative |S| (got %d, %d)", sSize, qSize)
+	}
+	if cores <= 0 {
+		return Tuple{}, fmt.Errorf("trainer: sample tuple needs a positive machine size, got %d", cores)
+	}
+	if len(window) < 2 {
+		return Tuple{}, fmt.Errorf("trainer: sample tuple needs at least 2 observed jobs, got %d", len(window))
+	}
+	gaps := make([]float64, 0, len(window)-1)
+	for i := 1; i < len(window); i++ {
+		// Live streams may record mildly out-of-order submits (backdated
+		// requests); a negative gap is treated as simultaneous arrival.
+		gaps = append(gaps, math.Max(window[i].Submit-window[i-1].Submit, 0))
+	}
+	rng := dist.New(seed)
+	draw := func(id int, submit float64) workload.Job {
+		src := window[rng.IntN(len(window))]
+		j := workload.Job{
+			ID:       id,
+			Submit:   submit,
+			Runtime:  src.Runtime,
+			Estimate: src.Estimate,
+			Cores:    src.Cores,
+		}
+		if j.Cores > cores {
+			j.Cores = cores
+		}
+		return j
+	}
+	t := Tuple{Cores: cores}
+	base := window[0].Submit
+	for i := 0; i < sSize; i++ {
+		t.S = append(t.S, draw(i+1, base))
+	}
+	at := base
+	for i := 0; i < qSize; i++ {
+		at += gaps[rng.IntN(len(gaps))]
+		t.Q = append(t.Q, draw(sSize+i+1, at))
+	}
+	return t, nil
+}

@@ -1,0 +1,164 @@
+package trainer
+
+import (
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+func observedWindow() []workload.Job {
+	// A small observed window with distinctive values, in submit order.
+	return []workload.Job{
+		{ID: 1, Submit: 0, Runtime: 100, Estimate: 120, Cores: 2},
+		{ID: 2, Submit: 30, Runtime: 900, Estimate: 1000, Cores: 8},
+		{ID: 3, Submit: 90, Runtime: 50, Estimate: 60, Cores: 4},
+		{ID: 4, Submit: 100, Runtime: 3000, Estimate: 3600, Cores: 64},
+		{ID: 5, Submit: 250, Runtime: 10, Estimate: 15, Cores: 1},
+	}
+}
+
+func TestSampleTupleStructure(t *testing.T) {
+	win := observedWindow()
+	tuple, err := SampleTuple(win, 4, 8, 32, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuple.S) != 4 || len(tuple.Q) != 8 || tuple.Cores != 32 {
+		t.Fatalf("tuple shape: |S|=%d |Q|=%d cores=%d", len(tuple.S), len(tuple.Q), tuple.Cores)
+	}
+	// Characteristics are resampled from the window; cores are clamped to
+	// the training machine (the 64-core job fits a 32-core machine).
+	fromWindow := func(j workload.Job) bool {
+		for _, src := range win {
+			clamped := src.Cores
+			if clamped > 32 {
+				clamped = 32
+			}
+			if j.Runtime == src.Runtime && j.Estimate == src.Estimate && j.Cores == clamped {
+				return true
+			}
+		}
+		return false
+	}
+	ids := make(map[int]bool)
+	for _, j := range append(append([]workload.Job(nil), tuple.S...), tuple.Q...) {
+		if !fromWindow(j) {
+			t.Fatalf("job %+v not drawn from the window", j)
+		}
+		if j.Cores > 32 {
+			t.Fatalf("job %+v exceeds the training machine", j)
+		}
+		if ids[j.ID] {
+			t.Fatalf("duplicate tuple job ID %d", j.ID)
+		}
+		ids[j.ID] = true
+	}
+	// S establishes the initial resource state at the window's epoch; Q
+	// arrivals are cumulative resampled gaps, so they are nondecreasing.
+	for _, j := range tuple.S {
+		if j.Submit != win[0].Submit {
+			t.Fatalf("S job submitted at %g, want the window epoch %g", j.Submit, win[0].Submit)
+		}
+	}
+	prev := win[0].Submit
+	for _, j := range tuple.Q {
+		if j.Submit < prev {
+			t.Fatalf("Q submits not nondecreasing: %g after %g", j.Submit, prev)
+		}
+		prev = j.Submit
+	}
+}
+
+func TestSampleTupleAnchoredAtWindowEpoch(t *testing.T) {
+	// A window observed deep into a stream keeps its absolute s scale:
+	// fitted s-coefficients must be calibrated to the values the policy
+	// will actually score.
+	win := observedWindow()
+	for i := range win {
+		win[i].Submit += 7e5
+	}
+	tuple, err := SampleTuple(win, 2, 6, 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tuple.S {
+		if j.Submit != 7e5 {
+			t.Fatalf("S anchored at %g, want 7e5", j.Submit)
+		}
+	}
+	for _, j := range tuple.Q {
+		if j.Submit < 7e5 || j.Submit > 7e5+5*250 {
+			t.Fatalf("Q submit %g outside the window's time scale", j.Submit)
+		}
+	}
+}
+
+func TestSampleTupleDeterministic(t *testing.T) {
+	win := observedWindow()
+	a, err := SampleTuple(win, 3, 6, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleTuple(win, 3, 6, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.S {
+		if a.S[i] != b.S[i] {
+			t.Fatalf("S[%d] differs across identical seeds", i)
+		}
+	}
+	for i := range a.Q {
+		if a.Q[i] != b.Q[i] {
+			t.Fatalf("Q[%d] differs across identical seeds", i)
+		}
+	}
+	c, err := SampleTuple(win, 3, 6, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Q {
+		if a.Q[i].Runtime != c.Q[i].Runtime || a.Q[i].Submit != c.Q[i].Submit {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical tuple")
+	}
+}
+
+func TestSampleTupleScores(t *testing.T) {
+	// A window-matched tuple feeds the standard trial machinery unchanged.
+	tuple, err := SampleTuple(observedWindow(), 2, 4, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := ScoreTuple(tuple, TrialConfig{Trials: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range ts.Scores {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("scores sum to %g, want 1 (the Eq. 3 invariant)", sum)
+	}
+}
+
+func TestSampleTupleErrors(t *testing.T) {
+	win := observedWindow()
+	if _, err := SampleTuple(win, -1, 4, 64, 1); err == nil {
+		t.Error("negative |S| accepted")
+	}
+	if _, err := SampleTuple(win, 2, 0, 64, 1); err == nil {
+		t.Error("zero |Q| accepted")
+	}
+	if _, err := SampleTuple(win, 2, 4, 0, 1); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := SampleTuple(win[:1], 2, 4, 64, 1); err == nil {
+		t.Error("single-job window accepted")
+	}
+}
