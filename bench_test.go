@@ -636,6 +636,7 @@ func BenchmarkAdaptiveLoop(b *testing.B) {
 		}
 		jobs[i].Estimate = jobs[i].Runtime
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cands, _, err := TrainOnWindow(jobs, 256, ClusterConfig{Backfill: BackfillEASY}, AutopilotConfig{
@@ -659,6 +660,125 @@ func BenchmarkMicroPolicyScore(b *testing.B) {
 			_ = p.Score(view)
 		}
 	}
+}
+
+// fitBenchSamples synthesizes a training set of the paper's default size
+// and shape — |Q|·tuples samples spanning the training ranges of (r, n, s)
+// with scores from a known Table 3 generator — so the regression benches
+// measure fitting, not the trial engine.
+func fitBenchSamples(n int) []mlfit.Sample {
+	truth := expr.Func{
+		Form: expr.Form{A: expr.BaseLog, B: expr.BaseID, C: expr.BaseLog, Op1: expr.OpMul, Op2: expr.OpAdd},
+		C:    [3]float64{1, 1, 870},
+	}
+	rng := dist.New(99)
+	samples := make([]mlfit.Sample, n)
+	for i := range samples {
+		r := 1 + rng.Float64()*27000
+		nc := 1 + rng.Float64()*255
+		s := 1 + rng.Float64()*86400
+		samples[i] = mlfit.Sample{R: r, N: nc, S: s, Score: truth.Eval(r, nc, s)}
+	}
+	return samples
+}
+
+// BenchmarkFitAll measures the full 576-candidate refit at the paper's
+// default sample count (8 tuples × |Q| = 32 → 256 samples) — the cost the
+// adaptive loop pays on every retraining round. Tracked in BENCH_sim.json
+// and gated against the committed baseline.
+func BenchmarkFitAll(b *testing.B) {
+	samples := fitBenchSamples(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mlfit.FitAll(samples, mlfit.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// evalSweeps is the number of 9-function evaluation sweeps one benchmark
+// op performs: a single eval is tens of nanoseconds, below timer
+// resolution at the low -benchtime the CI gate runs with, so each op
+// covers 9000 evaluations (~hundreds of microseconds) and the gated
+// ns/op is a stable measurement rather than noise.
+const evalSweeps = 1000
+
+// BenchmarkExprEval is the interpreted policy-function evaluation: the
+// tree-walk every queue re-rank performed before the compiled fast path.
+// Kept as the comparison point for BenchmarkCompiledEval.
+func BenchmarkExprEval(b *testing.B) {
+	fns := exprBenchFuncs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < evalSweeps; s++ {
+			for _, f := range fns {
+				sink += f.Eval(3600, 16, 7200)
+			}
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(evalSweeps*len(fns)), "evals/op")
+}
+
+// BenchmarkCompiledEval is the same evaluation through the compiled fast
+// path (expr.Func.Compile) the scheduling engines use — bit-identical to
+// Eval, minus the tree walk. Tracked in BENCH_sim.json and gated against
+// the committed baseline.
+func BenchmarkCompiledEval(b *testing.B) {
+	fns := exprBenchFuncs()
+	evals := make([]func(r, n, s float64) float64, len(fns))
+	for i, f := range fns {
+		evals[i] = f.Compile()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < evalSweeps; s++ {
+			for _, eval := range evals {
+				sink += eval(3600, 16, 7200)
+			}
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(evalSweeps*len(fns)), "evals/op")
+}
+
+// exprBenchFuncs returns one fitted function per operator pair, covering
+// every specialized path of the compiled evaluator.
+func exprBenchFuncs() []expr.Func {
+	var fns []expr.Func
+	for op1 := expr.Op(0); op1 < 3; op1++ {
+		for op2 := expr.Op(0); op2 < 3; op2++ {
+			fns = append(fns, expr.Func{
+				Form: expr.Form{A: expr.BaseLog, B: expr.BaseID, C: expr.BaseSqrt, Op1: op1, Op2: op2},
+				C:    [3]float64{0.5, 2, 870},
+			})
+		}
+	}
+	return fns
+}
+
+// BenchmarkScoreTuple measures one trial batch of the paper's simulation
+// scheme — 256 balanced permutation trials of a default (|S|=16, |Q|=32)
+// tuple — the other half of a retraining round's cost. Tracked in
+// BENCH_sim.json and gated against the committed baseline.
+func BenchmarkScoreTuple(b *testing.B) {
+	tuple, err := trainer.GenerateTuple(trainer.DefaultSpec(), 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.ScoreTuple(tuple, trainer.TrialConfig{Trials: 256, Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(256, "trials/op")
 }
 
 func BenchmarkMicroFitSingleForm(b *testing.B) {

@@ -12,6 +12,12 @@
 // fields; custom b.ReportMetric units (events/sec, jobs/op, ...) land in
 // "metrics". Non-benchmark lines are ignored, so the full `go test`
 // stream can be piped through unfiltered.
+//
+// With -gate it becomes the CI perf-regression gate instead: compare a
+// fresh report against the committed baseline and fail when any benchmark
+// tracked by the baseline slowed down beyond the tolerance:
+//
+//	go run ./cmd/benchjson -gate BENCH_sim.json -baseline BENCH_baseline.json -max-regress 0.25
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -47,7 +54,26 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output file (empty = stdout)")
+	gate := flag.String("gate", "", "gate mode: fresh report JSON to compare against -baseline")
+	baseline := flag.String("baseline", "", "gate mode: committed baseline report JSON")
+	maxRegress := flag.Float64("max-regress", 0.25, "gate mode: maximum tolerated ns/op slowdown (0.25 = +25%)")
+	maxAllocFactor := flag.Float64("max-alloc-factor", 2.0, "gate mode: maximum tolerated allocs/op growth factor (0 disables); loose because GOMAXPROCS scales per-worker allocations")
 	flag.Parse()
+	if *gate != "" || *baseline != "" {
+		if *gate == "" || *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: gate mode needs both -gate and -baseline")
+			os.Exit(2)
+		}
+		report, err := runGate(os.Stdout, *gate, *baseline, *maxRegress, *maxAllocFactor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !report {
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -79,6 +105,83 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(rep.Benchmarks))
+}
+
+// runGate compares the fresh report against the baseline and reports
+// pass/fail. Every benchmark named by the baseline with a positive ns/op
+// is tracked; a tracked benchmark missing from the fresh report fails the
+// gate (a silently dropped benchmark must not pass as "no regression").
+// ok is false when any tracked benchmark regressed beyond maxRegress on
+// ns/op, or grew its allocs/op beyond allocFactor — the allocation count
+// is hardware-independent, so it catches the O(work) regression class
+// even when timings are noisy.
+func runGate(w io.Writer, freshPath, basePath string, maxRegress, allocFactor float64) (ok bool, err error) {
+	fresh, err := readReport(freshPath)
+	if err != nil {
+		return false, err
+	}
+	base, err := readReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	return compareReports(w, fresh, base, maxRegress, allocFactor), nil
+}
+
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports prints the per-benchmark comparison and returns whether
+// every tracked benchmark stayed within the tolerances.
+func compareReports(w io.Writer, fresh, base *Report, maxRegress, allocFactor float64) bool {
+	freshBy := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	tracked := make([]Benchmark, 0, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if b.NsPerOp > 0 {
+			tracked = append(tracked, b)
+		}
+	}
+	sort.Slice(tracked, func(i, j int) bool { return tracked[i].Name < tracked[j].Name })
+	ok := true
+	fmt.Fprintf(w, "%-32s %14s %14s %8s %12s\n", "benchmark", "baseline ns/op", "fresh ns/op", "delta", "allocs")
+	for _, b := range tracked {
+		f, present := freshBy[b.Name]
+		if !present || f.NsPerOp <= 0 {
+			ok = false
+			fmt.Fprintf(w, "%-32s %14.0f %14s %8s %12s  FAIL (missing from fresh report)\n", b.Name, b.NsPerOp, "-", "-", "-")
+			continue
+		}
+		delta := f.NsPerOp/b.NsPerOp - 1
+		verdict := "ok"
+		if delta > maxRegress {
+			ok = false
+			verdict = fmt.Sprintf("FAIL (> +%.0f%%)", maxRegress*100)
+		}
+		allocs := fmt.Sprintf("%.0f->%.0f", b.AllocsPerOp, f.AllocsPerOp)
+		if allocFactor > 0 && b.AllocsPerOp > 0 && f.AllocsPerOp > b.AllocsPerOp*allocFactor {
+			ok = false
+			verdict = fmt.Sprintf("FAIL (allocs > %.1fx)", allocFactor)
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%% %12s  %s\n", b.Name, b.NsPerOp, f.NsPerOp, delta*100, allocs, verdict)
+	}
+	if ok {
+		fmt.Fprintf(w, "benchjson: gate passed (%d benchmarks within +%.0f%% and allocs within %.1fx)\n", len(tracked), maxRegress*100, allocFactor)
+	} else {
+		fmt.Fprintf(w, "benchjson: gate FAILED (tolerances: +%.0f%% ns/op, %.1fx allocs)\n", maxRegress*100, allocFactor)
+	}
+	return ok
 }
 
 // parse scans `go test -bench` output for benchmark result lines.

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,6 +49,105 @@ func TestParse(t *testing.T) {
 	}
 	if rep.GoVersion == "" {
 		t.Error("go version missing")
+	}
+}
+
+func gateReport(names []string, ns []float64) *Report {
+	rep := &Report{}
+	for i, n := range names {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: n, Iterations: 1, NsPerOp: ns[i]})
+	}
+	return rep
+}
+
+func TestCompareReportsPassAndFail(t *testing.T) {
+	base := gateReport([]string{"FitAll", "ScoreTuple", "CompiledEval"}, []float64{1000, 2000, 100})
+	cases := []struct {
+		name  string
+		fresh *Report
+		ok    bool
+	}{
+		{"identical", gateReport([]string{"FitAll", "ScoreTuple", "CompiledEval"}, []float64{1000, 2000, 100}), true},
+		{"within-tolerance", gateReport([]string{"FitAll", "ScoreTuple", "CompiledEval"}, []float64{1240, 2490, 124}), true},
+		{"faster", gateReport([]string{"FitAll", "ScoreTuple", "CompiledEval"}, []float64{300, 700, 50}), true},
+		{"one-regressed", gateReport([]string{"FitAll", "ScoreTuple", "CompiledEval"}, []float64{1000, 2600, 100}), false},
+		{"tracked-missing", gateReport([]string{"FitAll", "ScoreTuple"}, []float64{1000, 2000}), false},
+		{"extra-untracked", gateReport([]string{"FitAll", "ScoreTuple", "CompiledEval", "New"}, []float64{1000, 2000, 100, 9e9}), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if got := compareReports(&sb, tc.fresh, base, 0.25, 2.0); got != tc.ok {
+				t.Fatalf("ok = %v, want %v; output:\n%s", got, tc.ok, sb.String())
+			}
+		})
+	}
+}
+
+func TestCompareReportsIgnoresZeroNsBaseline(t *testing.T) {
+	// A baseline entry without timing (e.g. a metrics-only line) must not
+	// be tracked — there is nothing to regress against.
+	base := gateReport([]string{"FitAll", "MetricsOnly"}, []float64{1000, 0})
+	fresh := gateReport([]string{"FitAll"}, []float64{1100})
+	var sb strings.Builder
+	if !compareReports(&sb, fresh, base, 0.25, 2.0) {
+		t.Fatalf("metrics-only baseline entry failed the gate:\n%s", sb.String())
+	}
+}
+
+func TestCompareReportsAllocGate(t *testing.T) {
+	withAllocs := func(ns, allocs float64) *Report {
+		return &Report{Benchmarks: []Benchmark{{Name: "FitAll", Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs}}}
+	}
+	base := withAllocs(1000, 28)
+	var sb strings.Builder
+	// Timing identical but allocations exploded past the factor: fail —
+	// this is the hardware-independent regression signal.
+	if compareReports(&sb, withAllocs(1000, 7498), base, 0.25, 2.0) {
+		t.Fatalf("10x alloc growth passed the gate:\n%s", sb.String())
+	}
+	sb.Reset()
+	// Modest alloc growth (GOMAXPROCS scaling of per-worker scratch)
+	// stays within the loose factor.
+	if !compareReports(&sb, withAllocs(1000, 50), base, 0.25, 2.0) {
+		t.Fatalf("within-factor alloc growth failed the gate:\n%s", sb.String())
+	}
+	sb.Reset()
+	// Factor 0 disables the alloc gate entirely.
+	if !compareReports(&sb, withAllocs(1000, 7498), base, 0.25, 0) {
+		t.Fatalf("disabled alloc gate still failed:\n%s", sb.String())
+	}
+}
+
+func TestRunGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.json", gateReport([]string{"FitAll"}, []float64{1000}))
+	okPath := write("ok.json", gateReport([]string{"FitAll"}, []float64{1100}))
+	badPath := write("bad.json", gateReport([]string{"FitAll"}, []float64{2000}))
+
+	var sb strings.Builder
+	ok, err := runGate(&sb, okPath, basePath, 0.25, 2.0)
+	if err != nil || !ok {
+		t.Fatalf("ok gate: ok=%v err=%v\n%s", ok, err, sb.String())
+	}
+	sb.Reset()
+	ok, err = runGate(&sb, badPath, basePath, 0.25, 2.0)
+	if err != nil || ok {
+		t.Fatalf("bad gate: ok=%v err=%v\n%s", ok, err, sb.String())
+	}
+	if _, err := runGate(&sb, filepath.Join(dir, "missing.json"), basePath, 0.25, 2.0); err == nil {
+		t.Fatal("missing fresh report accepted")
 	}
 }
 

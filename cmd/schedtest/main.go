@@ -35,27 +35,36 @@ import (
 
 	gensched "github.com/hpcsched/gensched"
 	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/profiling"
 	"github.com/hpcsched/gensched/internal/tsafrir"
 	"github.com/hpcsched/gensched/internal/workload"
 )
 
 func main() {
 	var (
-		cores     = flag.Int("cores", 256, "machine size (Lublin workloads; SWF files carry their own)")
-		sequences = flag.Int("sequences", 10, "number of disjoint sequences")
-		days      = flag.Float64("days", 15, "sequence length in days")
-		load      = flag.Float64("load", 1.05, "offered load for Lublin workloads")
-		platform  = flag.String("platform", "", "platform stand-in: curie | intrepid | sdsc-blue | ctc-sp2")
-		swf       = flag.String("swf", "", "schedule an SWF trace file instead of a generated workload")
-		policies  = flag.String("policies", "", "comma-separated policy names (default: the paper's eight)")
-		custom    = flag.String("custom", "", "additional custom policy as a function, e.g. 'log10(r)*n + 870*log10(s)'")
-		estimates = flag.Bool("estimates", false, "schedule on user estimates instead of actual runtimes")
-		backfill  = flag.String("backfill", "none", "backfilling: none | easy | conservative")
-		seed      = flag.Uint64("seed", 20171112, "random seed")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		daemon    = flag.String("daemon", "", "load-generator mode: stream the workload at this schedd base URL")
+		cores      = flag.Int("cores", 256, "machine size (Lublin workloads; SWF files carry their own)")
+		sequences  = flag.Int("sequences", 10, "number of disjoint sequences")
+		days       = flag.Float64("days", 15, "sequence length in days")
+		load       = flag.Float64("load", 1.05, "offered load for Lublin workloads")
+		platform   = flag.String("platform", "", "platform stand-in: curie | intrepid | sdsc-blue | ctc-sp2")
+		swf        = flag.String("swf", "", "schedule an SWF trace file instead of a generated workload")
+		policies   = flag.String("policies", "", "comma-separated policy names (default: the paper's eight)")
+		custom     = flag.String("custom", "", "additional custom policy as a function, e.g. 'log10(r)*n + 870*log10(s)'")
+		estimates  = flag.Bool("estimates", false, "schedule on user estimates instead of actual runtimes")
+		backfill   = flag.String("backfill", "none", "backfilling: none | easy | conservative")
+		seed       = flag.Uint64("seed", 20171112, "random seed")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		daemon     = flag.String("daemon", "", "load-generator mode: stream the workload at this schedd base URL")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+	stopProfiles, perr := profiling.Start("schedtest", *cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "schedtest:", perr)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *daemon != "" {

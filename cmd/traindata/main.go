@@ -22,24 +22,33 @@ import (
 	gensched "github.com/hpcsched/gensched"
 	"github.com/hpcsched/gensched/internal/lublin"
 	"github.com/hpcsched/gensched/internal/mlfit"
+	"github.com/hpcsched/gensched/internal/profiling"
 	"github.com/hpcsched/gensched/internal/trainer"
 )
 
 func main() {
 	var (
-		tuples  = flag.Int("tuples", 16, "number of (S,Q) tuples to score")
-		trials  = flag.Int("trials", 8192, "permutation trials per tuple (paper: 262144)")
-		ssize   = flag.Int("s", 16, "|S|: initial resource-state tasks per tuple")
-		qsize   = flag.Int("q", 32, "|Q|: measured tasks per tuple")
-		cores   = flag.Int("cores", 256, "machine size")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		out     = flag.String("out", "score-distribution.csv", "output CSV (empty = stdout)")
-		dir     = flag.String("dir", "", "campaign mode: write per-tuple files under this directory (artifact layout)")
-		from    = flag.Int("from", 0, "campaign mode: first tuple index")
-		gather  = flag.Bool("gather", false, "campaign mode: join <dir>/training-data/*.csv into -out and exit")
+		tuples     = flag.Int("tuples", 16, "number of (S,Q) tuples to score")
+		trials     = flag.Int("trials", 8192, "permutation trials per tuple (paper: 262144)")
+		ssize      = flag.Int("s", 16, "|S|: initial resource-state tasks per tuple")
+		qsize      = flag.Int("q", 32, "|Q|: measured tasks per tuple")
+		cores      = flag.Int("cores", 256, "machine size")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		out        = flag.String("out", "score-distribution.csv", "output CSV (empty = stdout)")
+		dir        = flag.String("dir", "", "campaign mode: write per-tuple files under this directory (artifact layout)")
+		from       = flag.Int("from", 0, "campaign mode: first tuple index")
+		gather     = flag.Bool("gather", false, "campaign mode: join <dir>/training-data/*.csv into -out and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on successful exit")
 	)
 	flag.Parse()
+	stopProfiles, perr := profiling.Start("traindata", *cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "traindata:", perr)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	start := time.Now()
 
 	var samples []mlfit.Sample

@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	policies, fits, err := gensched.FitPolicies(samples, 1)
+	policies, fits, err := gensched.FitPolicies(samples, 1, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

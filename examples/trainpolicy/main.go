@@ -31,7 +31,7 @@ func main() {
 
 	// Step 2: nonlinear regression over the function family.
 	fmt.Println("step 2: fitting all 576 candidate functions (weighted by r*n)...")
-	policies, fits, err := gensched.FitPolicies(samples, 4)
+	policies, fits, err := gensched.FitPolicies(samples, 4, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

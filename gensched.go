@@ -225,11 +225,14 @@ func GenerateScoreDistribution(cfg TrainingConfig) ([]Sample, error) {
 // FitPolicies fits all 576 candidate nonlinear functions to the samples
 // with the paper's r·n weighting and returns the top distinct fits as
 // ready-to-use policies named L1, L2, ... alongside the fit details.
-func FitPolicies(samples []Sample, top int) ([]Policy, []FitResult, error) {
+// workers bounds the fitting parallelism (0 = GOMAXPROCS), matching the
+// Workers field callers already pass to GenerateScoreDistribution — the
+// result never depends on it.
+func FitPolicies(samples []Sample, top, workers int) ([]Policy, []FitResult, error) {
 	if top <= 0 {
 		top = 4
 	}
-	ranked, err := mlfit.FitAll(samples, mlfit.Options{})
+	ranked, err := mlfit.FitAll(samples, mlfit.Options{Workers: workers})
 	if err != nil {
 		return nil, nil, err
 	}

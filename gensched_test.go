@@ -98,7 +98,7 @@ func TestTrainAndFitPipeline(t *testing.T) {
 	if len(samples) != 2*32 {
 		t.Fatalf("got %d samples", len(samples))
 	}
-	policies, fits, err := FitPolicies(samples, 3)
+	policies, fits, err := FitPolicies(samples, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestFitPoliciesNamesTopTwelve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policies, _, err := FitPolicies(samples, 12)
+	policies, _, err := FitPolicies(samples, 12, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

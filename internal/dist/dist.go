@@ -41,13 +41,22 @@ type RNG struct {
 // New returns a generator seeded via splitmix64 expansion of seed; equal
 // seeds produce equal streams.
 func New(seed uint64) *RNG {
-	r := &RNG{seed: seed}
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes the generator in place to exactly the state
+// New(seed) builds. Pooled workers that derive a fresh stream per work
+// item (the trainer's trial engine) reseed one generator instead of
+// allocating one per item.
+func (r *RNG) Reseed(seed uint64) {
+	r.seed = seed
 	z := seed
 	for i := range r.s {
 		z += golden
 		r.s[i] = mix64(z)
 	}
-	return r
 }
 
 // Seed returns the seed the generator was created with (not its current

@@ -1,0 +1,159 @@
+package expr
+
+import "math"
+
+// This file is the compiled fast path for policy-function evaluation.
+// Func.Eval walks the form: one switch per base function and a
+// precedence/operator dispatch per call — fine for fitting diagnostics,
+// wasteful on the scheduling hot path where the same function scores every
+// waiting task at every queue re-rank. Compile folds the dispatch away
+// once: the three base functions become direct calls, the coefficients are
+// captured as constants, and the operator structure is specialized into
+// one closure per (op1, op2) pair.
+//
+// Contract: the compiled function is bit-identical to Eval for every
+// input, including the clamp below minArg, NaN absorption, and the
+// division-by-zero guard. The scheduling engines and the regression both
+// rely on this — swapping the evaluator must not move a single start time
+// — and compile_test.go pins it over the whole 576-form family. To keep
+// the guarantee, every closure below performs the same floating-point
+// operations in the same order as Form.Combine, with each intermediate
+// materialized exactly where the interpreted path rounds.
+
+// baseEval returns the concrete evaluation function of a base: the same
+// clamped transform Base.Eval applies, minus the per-call switch.
+func baseEval(b Base) func(float64) float64 {
+	switch b {
+	case BaseID:
+		return evalBaseID
+	case BaseLog:
+		return evalBaseLog
+	case BaseSqrt:
+		return evalBaseSqrt
+	case BaseInv:
+		return evalBaseInv
+	default:
+		// Unreachable for family forms; mirror Base.Eval's failure mode.
+		return func(x float64) float64 { return b.Eval(x) }
+	}
+}
+
+func clampArg(x float64) float64 {
+	if x < minArg || math.IsNaN(x) {
+		return minArg
+	}
+	return x
+}
+
+func evalBaseID(x float64) float64   { return clampArg(x) }
+func evalBaseLog(x float64) float64  { return math.Log10(clampArg(x)) }
+func evalBaseSqrt(x float64) float64 { return math.Sqrt(clampArg(x)) }
+func evalBaseInv(x float64) float64  { return 1 / clampArg(x) }
+
+// compiledDiv is Op.Apply's OpDiv semantics: a zero denominator is
+// replaced by the smallest positive float so candidate functions stay
+// finite during regression and scheduling.
+func compiledDiv(a, b float64) float64 {
+	if b == 0 {
+		b = math.SmallestNonzeroFloat64
+	}
+	return a / b
+}
+
+// CombineFunc returns a specialized version of Form.Combine for this
+// form's operator pair: the same floating-point operations in the same
+// order, with the per-call precedence dispatch resolved once. The
+// returned function is a package-level func value (no captures, no
+// allocation) — the regression engine hoists it out of its per-sample
+// residual and ranking loops. Bit-identical to Combine by construction;
+// the compile differential test covers it through Compile, which shares
+// the same operator bodies.
+func (f Form) CombineFunc() func(coef [3]float64, a, b, c float64) float64 {
+	switch {
+	case f.Op1 == OpMul && f.Op2 == OpAdd:
+		return combineMulAdd
+	case f.Op1 == OpAdd && f.Op2 == OpAdd:
+		return combineAddAdd
+	case f.Op1 == OpDiv && f.Op2 == OpAdd:
+		return combineDivAdd
+	case f.Op1 == OpAdd && f.Op2 == OpMul:
+		return combineAddMul
+	case f.Op1 == OpAdd && f.Op2 == OpDiv:
+		return combineAddDiv
+	case f.Op1 == OpMul && f.Op2 == OpMul:
+		return combineMulMul
+	case f.Op1 == OpMul && f.Op2 == OpDiv:
+		return combineMulDiv
+	case f.Op1 == OpDiv && f.Op2 == OpMul:
+		return combineDivMul
+	default: // OpDiv, OpDiv
+		return combineDivDiv
+	}
+}
+
+func combineMulAdd(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	x := t1 * t2
+	return x + t3
+}
+
+func combineAddAdd(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	return t1 + t2 + t3
+}
+
+func combineDivAdd(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	x := compiledDiv(t1, t2)
+	return x + t3
+}
+
+func combineAddMul(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	x := t2 * t3
+	return t1 + x
+}
+
+func combineAddDiv(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	x := compiledDiv(t2, t3)
+	return t1 + x
+}
+
+func combineMulMul(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	return t1 * t2 * t3
+}
+
+func combineMulDiv(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	return compiledDiv(t1*t2, t3)
+}
+
+func combineDivMul(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	x := compiledDiv(t1, t2)
+	return x * t3
+}
+
+func combineDivDiv(k [3]float64, a, b, c float64) float64 {
+	t1, t2, t3 := k[0]*a, k[1]*b, k[2]*c
+	x := compiledDiv(t1, t2)
+	return compiledDiv(x, t3)
+}
+
+// Compile specializes the function into a closure with the operator
+// dispatch and coefficient loads folded away: the three base functions
+// become direct calls and the operator structure is the CombineFunc
+// specialization of the form — one shared set of operator bodies carries
+// the bit-identity contract for both the compiled evaluator and the
+// regression's inner loops. The result is safe for concurrent use and
+// bit-identical to Eval on every input.
+func (f Func) Compile() func(r, n, s float64) float64 {
+	fa, fb, fc := baseEval(f.Form.A), baseEval(f.Form.B), baseEval(f.Form.C)
+	combine := f.Form.CombineFunc()
+	coef := f.C
+	return func(r, n, s float64) float64 {
+		return combine(coef, fa(r), fb(n), fc(s))
+	}
+}

@@ -1,0 +1,176 @@
+package expr
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/dist"
+)
+
+// bitsEqual compares two float64 values for exact bit identity.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestCompileBitIdenticalAllForms is the differential harness pinning the
+// compiled evaluator to the interpreted one: every form of the 576-member
+// family, several coefficient regimes (including zero and negative
+// coefficients that exercise the division guard), and fuzzed inputs
+// spanning the clamp edges must produce bit-identical outputs.
+func TestCompileBitIdenticalAllForms(t *testing.T) {
+	coefSets := [][3]float64{
+		{1, 1, 1},
+		{1, 1, 870},            // F1's published constants
+		{0.001, 1, 6.86e6},     // the magnitude spread real fits produce
+		{-2.5, 0.75, -1e-9},    // negative and tiny coefficients
+		{0, 1, 1},              // zero numerator terms
+		{1, 0, 1},              // zero denominator terms (division guard)
+		{1, 1, 0},              // zero trailing term
+		{math.Pi, -math.E, 42}, // irrational constants
+	}
+	edgeInputs := []float64{
+		0, 1, 0.5, -3, 1e-300, 27000, 86400, 1e18,
+		math.NaN(), math.Inf(1), 0.999999999, 1.0000001,
+	}
+	rng := dist.New(20260730)
+	fuzz := make([]float64, 64)
+	for i := range fuzz {
+		// Log-uniform over the training ranges, occasionally below clamp.
+		fuzz[i] = math.Exp(rng.Float64()*30 - 3)
+	}
+	inputs := append(edgeInputs, fuzz...)
+
+	forms := Enumerate()
+	if len(forms) != 576 {
+		t.Fatalf("Enumerate returned %d forms, want 576", len(forms))
+	}
+	for _, form := range forms {
+		for _, coef := range coefSets {
+			f := Func{Form: form, C: coef}
+			compiled := f.Compile()
+			for _, r := range inputs {
+				for _, n := range inputs[:8] { // cube over edges would explode; slice the axes
+					for _, s := range inputs[8:12] {
+						want := f.Eval(r, n, s)
+						got := compiled(r, n, s)
+						if !bitsEqual(want, got) {
+							t.Fatalf("%v coef=%v at (r=%g n=%g s=%g): Eval=%x Compile=%x",
+								f, coef, r, n, s,
+								math.Float64bits(want), math.Float64bits(got))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompileBitIdenticalRandomTriples drives every form with fully random
+// (r, n, s) triples and random coefficients — the broad fuzz complementing
+// the edge-case grid above.
+func TestCompileBitIdenticalRandomTriples(t *testing.T) {
+	rng := dist.New(7)
+	draw := func() float64 {
+		switch rng.IntN(8) {
+		case 0:
+			return 0
+		case 1:
+			return -rng.Float64() * 100
+		case 2:
+			return rng.Float64() // inside the clamp
+		default:
+			return math.Exp(rng.Float64() * 25)
+		}
+	}
+	for _, form := range Enumerate() {
+		for trial := 0; trial < 24; trial++ {
+			f := Func{Form: form, C: [3]float64{draw(), draw(), draw()}}
+			compiled := f.Compile()
+			r, n, s := draw(), draw(), draw()
+			want := f.Eval(r, n, s)
+			got := compiled(r, n, s)
+			if !bitsEqual(want, got) {
+				t.Fatalf("%v at (r=%g n=%g s=%g): Eval=%x Compile=%x",
+					f, r, n, s, math.Float64bits(want), math.Float64bits(got))
+			}
+		}
+	}
+}
+
+// TestCombineFuncBitIdentical pins the specialized combine against
+// Form.Combine over every form, random coefficients and precomputed base
+// values — the contract the regression engine's inner loops rely on.
+func TestCombineFuncBitIdentical(t *testing.T) {
+	rng := dist.New(31)
+	for _, form := range Enumerate() {
+		combine := form.CombineFunc()
+		for trial := 0; trial < 32; trial++ {
+			coef := [3]float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2, rng.Float64() * 1e6}
+			if trial%5 == 0 {
+				coef[trial%3] = 0 // exercise the division guard
+			}
+			a := math.Exp(rng.Float64() * 10)
+			b := math.Exp(rng.Float64() * 6)
+			c := math.Exp(rng.Float64() * 12)
+			want := form.Combine(coef, a, b, c)
+			got := combine(coef, a, b, c)
+			if !bitsEqual(want, got) {
+				t.Fatalf("form %v coef=%v at (%g,%g,%g): Combine=%x CombineFunc=%x",
+					form, coef, a, b, c, math.Float64bits(want), math.Float64bits(got))
+			}
+		}
+	}
+}
+
+// TestCompiledDivGuard pins the division guard: a zero denominator is
+// substituted with the smallest positive float, exactly as Op.Apply does.
+func TestCompiledDivGuard(t *testing.T) {
+	// c2 = 0 zeroes the denominator term for any n.
+	f := Func{
+		Form: Form{A: BaseID, B: BaseID, C: BaseID, Op1: OpDiv, Op2: OpAdd},
+		C:    [3]float64{3, 0, 1},
+	}
+	want := f.Eval(6, 50, 2)
+	got := f.Compile()(6, 50, 2)
+	if !bitsEqual(want, got) {
+		t.Fatalf("div guard: Eval=%g Compile=%g", want, got)
+	}
+	if math.IsInf(got, 0) != math.IsInf(want, 0) {
+		t.Fatalf("div guard disagreement: Eval=%g Compile=%g", want, got)
+	}
+}
+
+// TestCompileConcurrentUse exercises one compiled closure from several
+// goroutines — it must be stateless and race-free (the scheduling engines
+// share one policy value across parallel simulations).
+func TestCompileConcurrentUse(t *testing.T) {
+	f := Func{
+		Form: Form{A: BaseLog, B: BaseID, C: BaseLog, Op1: OpMul, Op2: OpAdd},
+		C:    [3]float64{1, 1, 870},
+	}
+	compiled := f.Compile()
+	want := f.Eval(3600, 16, 7200)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				if got := compiled(3600, 16, 7200); !bitsEqual(got, want) {
+					done <- errMismatch
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "compiled result diverged under concurrency" }

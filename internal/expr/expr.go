@@ -28,6 +28,11 @@ const (
 	numBases
 )
 
+// NumBases is the size of the Table 1 base-function set; valid Base
+// values are 0..NumBases-1. The regression engine sizes its shared
+// feature planes with it.
+const NumBases = int(numBases)
+
 // clampArg guards the base functions against the singularities at and below
 // zero. Runtimes, core counts and (rebased) submit times are all >= 1 in
 // SWF data, so clamping to 1 changes nothing on real inputs while keeping

@@ -24,6 +24,13 @@ type CVResult struct {
 // CrossValidate runs k-fold cross-validation of form on the samples:
 // fit on k-1 folds, evaluate the Eq. 5 rank on the held-out fold. Folds
 // are assigned by a deterministic shuffle of the samples with seed.
+//
+// The base transforms, target and weights are computed once into shared
+// FeaturePlanes; every fold then *gathers* its training columns from the
+// planes instead of re-deriving features per fold — the fold loop touches
+// only the three columns the form actually uses. The gathered values (and
+// therefore every fitted coefficient and fold rank) are bit-identical to
+// the rebuild-per-fold path this replaces.
 func CrossValidate(form expr.Form, samples []Sample, k int, opt Options, seed uint64) (CVResult, error) {
 	if k < 2 {
 		return CVResult{}, fmt.Errorf("mlfit: cross-validation needs k >= 2, got %d", k)
@@ -32,25 +39,39 @@ func CrossValidate(form expr.Form, samples []Sample, k int, opt Options, seed ui
 		return CVResult{}, fmt.Errorf("mlfit: %d samples cannot fill %d folds", len(samples), k)
 	}
 	perm := dist.New(seed).Perm(len(samples))
-	folds := make([][]Sample, k)
+	folds := make([][]int, k) // original sample indices, in shuffle order
 	for i, pi := range perm {
-		folds[i%k] = append(folds[i%k], samples[pi])
+		folds[i%k] = append(folds[i%k], pi)
 	}
+	planes := BuildFeaturePlanes(samples, opt.Weight)
+	full := planes.features(form)
+	n := planes.Len()
+	train := features{
+		a: make([]float64, 0, n), b: make([]float64, 0, n), c: make([]float64, 0, n),
+		y: make([]float64, 0, n), w: make([]float64, 0, n),
+	}
+	var sc fitScratch
 	res := CVResult{Form: form, FoldRanks: make([]float64, 0, k)}
 	for held := 0; held < k; held++ {
-		train := make([]Sample, 0, len(samples))
-		for fi, f := range folds {
-			if fi != held {
-				train = append(train, f...)
+		train.a, train.b, train.c = train.a[:0], train.b[:0], train.c[:0]
+		train.y, train.w = train.y[:0], train.w[:0]
+		for fi, fold := range folds {
+			if fi == held {
+				continue
+			}
+			for _, idx := range fold {
+				train.a = append(train.a, full.a[idx])
+				train.b = append(train.b, full.b[idx])
+				train.c = append(train.c, full.c[idx])
+				train.y = append(train.y, full.y[idx])
+				train.w = append(train.w, full.w[idx])
 			}
 		}
-		fit, err := Fit(form, train, opt)
-		if err != nil {
-			return CVResult{}, err
-		}
+		fit := fitFeatures(form, train, opt, &sc)
 		var rank float64
-		for _, s := range folds[held] {
-			rank += math.Abs(fit.Func.Eval(s.R, s.N, s.S) - s.Score)
+		for _, idx := range folds[held] {
+			pred := form.Combine(fit.Func.C, full.a[idx], full.b[idx], full.c[idx])
+			rank += math.Abs(pred - full.y[idx])
 		}
 		res.FoldRanks = append(res.FoldRanks, rank/float64(len(folds[held])))
 	}

@@ -62,13 +62,19 @@ type Result struct {
 // ErrNoSamples is returned when the training set is empty.
 var ErrNoSamples = errors.New("mlfit: no samples")
 
-// features precomputes the base-function values of each sample for a form.
+// features is one form's per-sample view: the three base-function columns
+// a = α(r), b = β(n), c = γ(s), the target y and the regression weight w.
+// The columns are borrowed (from FeaturePlanes or a scratch gather), never
+// owned — a fit must not write through them.
 type features struct {
 	a, b, c []float64
 	y       []float64
 	w       []float64
 }
 
+// buildFeatures computes one form's features from scratch — the slow path
+// single-form fits use; FitAll and CrossValidate borrow from shared
+// FeaturePlanes instead.
 func buildFeatures(form expr.Form, samples []Sample, weight func(Sample) float64) features {
 	n := len(samples)
 	f := features{
@@ -83,38 +89,131 @@ func buildFeatures(form expr.Form, samples []Sample, weight func(Sample) float64
 	return f
 }
 
+// FeaturePlanes holds the shared per-sample columns every fit of a
+// training set borrows: one column per distinct expr.Base applied to each
+// of r, n, s (4 bases × 3 variables = 12 columns), plus the target y and
+// the regression weight w, all computed exactly once. Before the planes,
+// FitAll recomputed the base transforms once per form — 576 identical
+// passes over the samples; now every fit (and every cross-validation
+// fold) is a column lookup. The columns are identical bit for bit to what
+// buildFeatures computes, so fits borrowing planes return identical
+// results. Planes are immutable after construction and safe to share
+// across goroutines.
+type FeaturePlanes struct {
+	n    int
+	base [3][expr.NumBases][]float64 // [variable r/n/s][base][sample]
+	y, w []float64
+}
+
+// BuildFeaturePlanes computes the shared feature planes of a training
+// set. A nil weight selects the paper's r·n weighting, as in Options.
+func BuildFeaturePlanes(samples []Sample, weight func(Sample) float64) *FeaturePlanes {
+	if weight == nil {
+		weight = PaperWeight
+	}
+	n := len(samples)
+	p := &FeaturePlanes{n: n, y: make([]float64, n), w: make([]float64, n)}
+	for v := range p.base {
+		for b := range p.base[v] {
+			p.base[v][b] = make([]float64, n)
+		}
+	}
+	for i, s := range samples {
+		for b := 0; b < expr.NumBases; b++ {
+			p.base[0][b][i] = expr.Base(b).Eval(s.R)
+			p.base[1][b][i] = expr.Base(b).Eval(s.N)
+			p.base[2][b][i] = expr.Base(b).Eval(s.S)
+		}
+		p.y[i] = s.Score
+		p.w[i] = weight(s)
+	}
+	return p
+}
+
+// Len returns the number of samples the planes were built from.
+func (p *FeaturePlanes) Len() int { return p.n }
+
+// features borrows one form's columns from the planes.
+func (p *FeaturePlanes) features(form expr.Form) features {
+	return features{
+		a: p.base[0][form.A],
+		b: p.base[1][form.B],
+		c: p.base[2][form.C],
+		y: p.y,
+		w: p.w,
+	}
+}
+
+// fitScratch owns the working buffers one fitting worker reuses across
+// forms: the derived-column products, the normal-equation system and the
+// Levenberg–Marquardt buffers. With caller-owned scratch a full FitAll
+// performs O(forms) small allocations (result bookkeeping) instead of
+// O(forms × samples) column rebuilds.
+type fitScratch struct {
+	cols [2][]float64 // derived multiplicative-product columns
+	lsq  lsqScratch
+	lm   LMScratch
+}
+
+// buf returns derived-column buffer k resized to n samples.
+func (sc *fitScratch) buf(k, n int) []float64 {
+	if cap(sc.cols[k]) < n {
+		sc.cols[k] = make([]float64, n)
+	}
+	return sc.cols[k][:n]
+}
+
 // derived builds the derived linear features of a form: every
 // multiplicative group contributes a single feature, every additive term
-// its own. expand maps the derived solution back to (c1, c2, c3).
-func derived(form expr.Form, f features) (cols [][]float64, expand func([]float64) [3]float64) {
+// its own. expand maps the derived solution back to (c1, c2, c3). The
+// product columns land in sc's buffers; a nil sc allocates fresh ones.
+func derived(form expr.Form, f features, sc *fitScratch) (cols [3][]float64, ncols int, expand func([]float64) [3]float64) {
 	n := len(f.y)
-	mul := func(op expr.Op, xs, ys []float64) []float64 {
-		out := make([]float64, n)
+	// mul is only ever called with a multiplicative op; the two loops are
+	// Op.Apply's OpMul and OpDiv bodies (including the zero-denominator
+	// guard) with the dispatch hoisted out of the element loop.
+	mul := func(op expr.Op, xs, ys, out []float64) []float64 {
+		if op == expr.OpMul {
+			for i := range out {
+				out[i] = xs[i] * ys[i]
+			}
+			return out
+		}
 		for i := range out {
-			out[i] = op.Apply(xs[i], ys[i])
+			d := ys[i]
+			if d == 0 {
+				d = math.SmallestNonzeroFloat64
+			}
+			out[i] = xs[i] / d
 		}
 		return out
+	}
+	buf := func(k int) []float64 {
+		if sc == nil {
+			return make([]float64, n)
+		}
+		return sc.buf(k, n)
 	}
 	op1, op2 := form.Op1, form.Op2
 	switch {
 	case op1 == expr.OpAdd && op2 == expr.OpAdd:
 		// c1·A + c2·B + c3·C: already linear.
-		return [][]float64{f.a, f.b, f.c}, func(k []float64) [3]float64 {
+		return [3][]float64{f.a, f.b, f.c}, 3, func(k []float64) [3]float64 {
 			return [3]float64{k[0], k[1], k[2]}
 		}
 	case op1 != expr.OpAdd && op2 == expr.OpAdd:
 		// (c1·A ∘ c2·B) + c3·C = k1·(A∘B) + k2·C.
-		return [][]float64{mul(op1, f.a, f.b), f.c}, func(k []float64) [3]float64 {
+		return [3][]float64{mul(op1, f.a, f.b, buf(0)), f.c}, 2, func(k []float64) [3]float64 {
 			return [3]float64{k[0], 1, k[1]}
 		}
 	case op1 == expr.OpAdd && op2 != expr.OpAdd:
 		// c1·A + (c2·B ∘ c3·C) = k1·A + k2·(B∘C).
-		return [][]float64{f.a, mul(op2, f.b, f.c)}, func(k []float64) [3]float64 {
+		return [3][]float64{f.a, mul(op2, f.b, f.c, buf(0))}, 2, func(k []float64) [3]float64 {
 			return [3]float64{k[0], k[1], 1}
 		}
 	default:
 		// Fully multiplicative chain: one derived coefficient.
-		return [][]float64{mul(op2, mul(op1, f.a, f.b), f.c)}, func(k []float64) [3]float64 {
+		return [3][]float64{mul(op2, mul(op1, f.a, f.b, buf(0)), f.c, buf(1))}, 1, func(k []float64) [3]float64 {
 			return [3]float64{k[0], 1, 1}
 		}
 	}
@@ -129,9 +228,28 @@ func Fit(form expr.Form, samples []Sample, opt Options) (Result, error) {
 	if weight == nil {
 		weight = PaperWeight
 	}
-	f := buildFeatures(form, samples, weight)
-	cols, expand := derived(form, f)
-	k, err := weightedLSQ(cols, f.y, f.w)
+	return fitFeatures(form, buildFeatures(form, samples, weight), opt, nil), nil
+}
+
+// fitFeatures is the fitting core shared by Fit, FitAll and
+// CrossValidate: closed-form weighted least squares on the derived
+// features, optional Levenberg–Marquardt polish, Eq. 5 ranking. It
+// performs exactly the floating-point operations the original
+// one-form-at-a-time path performed, in the same order — scratch reuse
+// changes where intermediates live, never their values.
+func fitFeatures(form expr.Form, f features, opt Options, sc *fitScratch) Result {
+	cols, ncols, expand := derived(form, f, sc)
+	var lsqSc *lsqScratch
+	var lmSc *LMScratch
+	if sc != nil {
+		lsqSc = &sc.lsq
+		lmSc = &sc.lm
+	}
+	// The specialized combine performs Form.Combine's operations in
+	// Form.Combine's order with the precedence dispatch hoisted out of the
+	// per-sample loops below.
+	combine := form.CombineFunc()
+	k, err := weightedLSQ(cols[:ncols], f.y, f.w, lsqSc)
 	coef := [3]float64{1, 1, 1}
 	converged := err == nil
 	if err == nil {
@@ -142,15 +260,15 @@ func Fit(form expr.Form, samples []Sample, opt Options) (Result, error) {
 		res := LevenbergMarquardt(func(c []float64, out []float64) {
 			cc := [3]float64{c[0], c[1], c[2]}
 			for i := range out {
-				out[i] = f.w[i] * (form.Combine(cc, f.a[i], f.b[i], f.c[i]) - f.y[i])
+				out[i] = f.w[i] * (combine(cc, f.a[i], f.b[i], f.c[i]) - f.y[i])
 			}
-		}, coef[:], len(samples), LMOptions{})
+		}, coef[:], len(f.y), LMOptions{Scratch: lmSc})
 		fn.C = [3]float64{res.Coef[0], res.Coef[1], res.Coef[2]}
 		converged = res.Converged
 	}
 	out := Result{Func: fn, Converged: converged}
 	for i := range f.y {
-		pred := form.Combine(fn.C, f.a[i], f.b[i], f.c[i])
+		pred := combine(fn.C, f.a[i], f.b[i], f.c[i])
 		d := pred - f.y[i]
 		out.Rank += math.Abs(d)
 		wd := f.w[i] * d
@@ -160,20 +278,22 @@ func Fit(form expr.Form, samples []Sample, opt Options) (Result, error) {
 	if math.IsNaN(out.Rank) {
 		out.Rank = math.Inf(1)
 	}
-	return out, nil
+	return out
 }
 
 // FitAll fits every form of the family (all 576) and returns the results
 // sorted by ascending rank (best fit first). Ties break on the
 // enumeration order, so the output is deterministic. Fitting fans out
-// over a bounded worker pool.
+// over a bounded worker pool; the base transforms, target and weights are
+// computed once into shared FeaturePlanes that every worker borrows, and
+// each worker reuses its own scratch buffers across forms.
 func FitAll(samples []Sample, opt Options) ([]Result, error) {
 	if len(samples) == 0 {
 		return nil, ErrNoSamples
 	}
+	planes := BuildFeaturePlanes(samples, opt.Weight)
 	forms := expr.Enumerate()
 	results := make([]Result, len(forms))
-	errs := make([]error, len(forms))
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -184,8 +304,9 @@ func FitAll(samples []Sample, opt Options) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc fitScratch
 			for i := range work {
-				results[i], errs[i] = Fit(forms[i], samples, opt)
+				results[i] = fitFeatures(forms[i], planes.features(forms[i]), opt, &sc)
 			}
 		}()
 	}
@@ -194,11 +315,6 @@ func FitAll(samples []Sample, opt Options) ([]Result, error) {
 	}
 	close(work)
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("mlfit: form %v: %w", forms[i], err)
-		}
-	}
 	order := make([]int, len(results))
 	for i := range order {
 		order[i] = i

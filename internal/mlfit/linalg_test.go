@@ -72,7 +72,7 @@ func TestWeightedLSQRecoversLinearModel(t *testing.T) {
 		y[i] = 3*x1 - 2*x2 + 0.5*x3
 		w[i] = 1 + float64(i%4)
 	}
-	x, err := weightedLSQ([][]float64{f1, f2, f3}, y, w)
+	x, err := weightedLSQ([][]float64{f1, f2, f3}, y, w, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,11 +89,11 @@ func TestWeightedLSQWeightsMatter(t *testing.T) {
 	// coefficient of y = k·x toward itself.
 	feat := [][]float64{{1, 1}}
 	y := []float64{0, 10}
-	heavy0, err := weightedLSQ(feat, y, []float64{10, 1})
+	heavy0, err := weightedLSQ(feat, y, []float64{10, 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	heavy1, err := weightedLSQ(feat, y, []float64{1, 10})
+	heavy1, err := weightedLSQ(feat, y, []float64{1, 10}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

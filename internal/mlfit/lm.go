@@ -8,6 +8,66 @@ type LMOptions struct {
 	MaxIter   int     // maximum accepted iterations (100)
 	Tol       float64 // relative SSE improvement to declare convergence (1e-12)
 	InitLamda float64 // initial damping (1e-3)
+	// Scratch optionally supplies caller-owned working buffers (residual
+	// vectors, the numeric Jacobian, the normal-equation system), letting
+	// a caller running many optimizations — FitAll's 576 candidate fits —
+	// amortize them. A nil Scratch allocates per call. Buffer reuse never
+	// changes a result: every buffer is fully overwritten before use, and
+	// the returned Coef is always freshly allocated.
+	Scratch *LMScratch
+}
+
+// LMScratch owns a Levenberg–Marquardt run's working buffers. The zero
+// value is ready; buffers grow to the largest (nRes, nParam) seen. A
+// scratch must not be shared by concurrent optimizations.
+type LMScratch struct {
+	res, trial []float64   // residual vectors at c and at a trial point
+	pert       []float64   // perturbed parameter vector for the Jacobian
+	jac        [][]float64 // jac[k][i] = ∂res_i/∂c_k
+	jtj        [][]float64 // JᵀJ
+	jtr        []float64   // −Jᵀres
+	sys        [][]float64 // damped copy of JᵀJ per attempt
+	rhs        []float64
+	cand       []float64
+	delta      []float64
+	c          []float64
+}
+
+func growVec(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growMat(m [][]float64, rows, cols int) [][]float64 {
+	if cap(m) < rows {
+		m = make([][]float64, rows)
+	}
+	m = m[:rows]
+	for r := range m {
+		if cap(m[r]) < cols {
+			m[r] = make([]float64, cols)
+		} else {
+			m[r] = m[r][:cols]
+		}
+	}
+	return m
+}
+
+// prepare sizes every buffer for an (nRes residuals, np parameters) run.
+func (s *LMScratch) prepare(nRes, np int) {
+	s.res = growVec(s.res, nRes)
+	s.trial = growVec(s.trial, nRes)
+	s.pert = growVec(s.pert, np)
+	s.jac = growMat(s.jac, np, nRes)
+	s.jtj = growMat(s.jtj, np, np)
+	s.jtr = growVec(s.jtr, np)
+	s.sys = growMat(s.sys, np, np)
+	s.rhs = growVec(s.rhs, np)
+	s.cand = growVec(s.cand, np)
+	s.delta = growVec(s.delta, np)
+	s.c = growVec(s.c, np)
 }
 
 // LMResult reports the optimizer outcome.
@@ -21,7 +81,8 @@ type LMResult struct {
 // LevenbergMarquardt minimizes Σ residᵢ(c)² over c, starting from c0.
 // eval must fill out with the residual vector at c. It is the stdlib-only
 // equivalent of SciPy's leastsq used by the paper's artifact: damped
-// Gauss–Newton steps with a numerically differentiated Jacobian.
+// Gauss–Newton steps with a numerically differentiated Jacobian. All
+// working buffers come from opt.Scratch when provided.
 func LevenbergMarquardt(eval func(c []float64, out []float64), c0 []float64, nRes int, opt LMOptions) LMResult {
 	if opt.MaxIter <= 0 {
 		opt.MaxIter = 100
@@ -33,19 +94,27 @@ func LevenbergMarquardt(eval func(c []float64, out []float64), c0 []float64, nRe
 		opt.InitLamda = 1e-3
 	}
 	np := len(c0)
-	c := append([]float64(nil), c0...)
-	res := make([]float64, nRes)
-	trial := make([]float64, nRes)
-	jac := make([][]float64, np) // jac[k][i] = ∂res_i/∂c_k
-	for k := range jac {
-		jac[k] = make([]float64, nRes)
+	sc := opt.Scratch
+	if sc == nil {
+		sc = &LMScratch{}
 	}
-	pert := make([]float64, np)
+	sc.prepare(nRes, np)
+	c := sc.c
+	copy(c, c0)
+	res, trial, pert := sc.res, sc.trial, sc.pert
+	jac := sc.jac
+
+	finish := func(r LMResult) LMResult {
+		// Coef is the one buffer callers keep; hand out a fresh copy so
+		// the scratch can be reused by the next fit.
+		r.Coef = append(make([]float64, 0, np), c...)
+		return r
+	}
 
 	eval(c, res)
 	sse := sumSquares(res)
 	if math.IsNaN(sse) || math.IsInf(sse, 0) {
-		return LMResult{Coef: c, SSE: math.Inf(1)}
+		return finish(LMResult{SSE: math.Inf(1)})
 	}
 	lambda := opt.InitLamda
 	result := LMResult{}
@@ -64,10 +133,8 @@ func LevenbergMarquardt(eval func(c []float64, out []float64), c0 []float64, nRe
 			pert[k] = c[k]
 		}
 		// Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀres.
-		jtj := make([][]float64, np)
-		jtr := make([]float64, np)
+		jtj, jtr := sc.jtj, sc.jtr
 		for r := 0; r < np; r++ {
-			jtj[r] = make([]float64, np)
 			for cc := r; cc < np; cc++ {
 				var s float64
 				for i := 0; i < nRes; i++ {
@@ -88,19 +155,19 @@ func LevenbergMarquardt(eval func(c []float64, out []float64), c0 []float64, nRe
 		}
 		improved := false
 		for attempt := 0; attempt < 20; attempt++ {
-			sys := make([][]float64, np)
-			rhs := append([]float64(nil), jtr...)
+			sys, rhs := sc.sys, sc.rhs
+			copy(rhs, jtr)
 			for r := 0; r < np; r++ {
-				sys[r] = append([]float64(nil), jtj[r]...)
+				copy(sys[r], jtj[r])
 				damp := lambda * jtj[r][r]
 				if damp == 0 {
 					damp = lambda * 1e-12
 				}
 				sys[r][r] += damp
 			}
-			delta, err := solveDense(sys, rhs)
+			delta, err := solveDenseInto(sys, rhs, sc.delta)
 			if err == nil {
-				cand := make([]float64, np)
+				cand := sc.cand
 				for k := range cand {
 					cand[k] = c[k] + delta[k]
 				}
@@ -132,9 +199,8 @@ func LevenbergMarquardt(eval func(c []float64, out []float64), c0 []float64, nRe
 			break
 		}
 	}
-	result.Coef = c
 	result.SSE = sse
-	return result
+	return finish(result)
 }
 
 func sumSquares(xs []float64) float64 {

@@ -1,0 +1,53 @@
+// Package profiling implements the -cpuprofile/-memprofile flag pair the
+// perf-sensitive commands (traindata, schedtest) share, so the training
+// and serving paths can be profiled without code edits.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile and arranges a heap profile per the given
+// file paths (empty = disabled). The returned stop function ends the CPU
+// profile and writes the heap profile; callers defer it on the successful
+// exit paths (error paths that os.Exit intentionally skip profiling
+// output). prefix labels any profile I/O errors, which are reported to
+// stderr rather than failing the run.
+func Start(prefix, cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: cpuprofile: %v\n", prefix, err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", prefix, err)
+			}
+		}
+	}, nil
+}

@@ -106,10 +106,14 @@ func UNICEF() Policy {
 }
 
 // Expr wraps a fitted nonlinear function f(r, n, s) as a policy. This is
-// how the output of the regression pipeline becomes a scheduler.
+// how the output of the regression pipeline becomes a scheduler. The
+// function is compiled once at wrap time (expr.Func.Compile, bit-identical
+// to Eval by contract), so queue re-ranks, SetPolicy hot-swaps and shadow
+// twins score jobs without walking the expression tree.
 func Expr(name string, f expr.Func) Policy {
+	eval := f.Compile()
 	return New(name, false, func(v JobView) float64 {
-		return f.Eval(v.Runtime, v.Cores, v.Submit)
+		return eval(v.Runtime, v.Cores, v.Submit)
 	})
 }
 

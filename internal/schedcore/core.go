@@ -160,6 +160,31 @@ func NewEngine(cores int, cfg Config) *Engine {
 	return e
 }
 
+// Reset returns the engine to the state NewEngine(cores, cfg) would build
+// while keeping every internal buffer's capacity — the task table, queue,
+// running set, event heap and backfill scratch are emptied, not freed.
+// Drivers that run many short simulations back to back (the trial engine
+// of the training pipeline) reset a pooled engine instead of allocating a
+// fresh one per run; a reset engine's schedule is bit-identical to a
+// fresh engine's because every decision input is re-established from
+// scratch.
+func (e *Engine) Reset(cores int, cfg Config) {
+	e.cores = cores
+	e.free = cores
+	e.cfg = cfg
+	e.tasks = e.tasks[:0]
+	e.freeSlots = e.freeSlots[:0]
+	e.queue = e.queue[:0]
+	e.running = e.running[:0]
+	e.events.Reset()
+	e.now = 0
+	e.maxQueueLen = 0
+	e.backfilled = 0
+	e.timeline = nil
+	e.checkErr = nil
+	e.SetPolicy(cfg.Policy)
+}
+
 // AddTask registers a job and returns its task index, reusing a released
 // slot when one is free. The task is not yet visible to the scheduler;
 // batch drivers follow with PushArrival, incremental drivers with Arrive.
@@ -224,7 +249,7 @@ func (e *Engine) SetPolicy(p sched.Policy) {
 	e.policy = p
 	e.withID, _ = p.(sched.PolicyWithID)
 	e.timeVarying = p.TimeVarying()
-	if !e.timeVarying {
+	if !e.timeVarying && len(e.queue) > 0 {
 		for _, ti := range e.queue {
 			e.tasks[ti].score = e.staticScore(ti)
 		}

@@ -46,6 +46,13 @@ type EventHeap struct {
 // Len reports the number of queued events.
 func (h *EventHeap) Len() int { return len(h.evs) }
 
+// Reset empties the heap, keeping its backing capacity, and restarts the
+// insertion sequence — the state of a zero EventHeap.
+func (h *EventHeap) Reset() {
+	h.evs = h.evs[:0]
+	h.seq = 0
+}
+
 // PeekTime returns the earliest event time; the heap must be non-empty.
 func (h *EventHeap) PeekTime() float64 { return h.evs[0].Time }
 

@@ -15,11 +15,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
+	"github.com/hpcsched/gensched/internal/dist"
 	"github.com/hpcsched/gensched/internal/lublin"
 	"github.com/hpcsched/gensched/internal/mlfit"
 	"github.com/hpcsched/gensched/internal/runner"
 	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/schedcore"
 	"github.com/hpcsched/gensched/internal/sim"
 	"github.com/hpcsched/gensched/internal/workload"
 )
@@ -114,15 +118,17 @@ func ScoreTuple(t Tuple, cfg TrialConfig) (*TupleScores, error) {
 	// Accumulating per-trial then reducing sequentially keeps the result
 	// bit-identical for every worker count. The fan-out goes through the
 	// shared runner pool; the trial runner itself is read-only state, so
-	// one instance serves every worker.
+	// one instance serves every worker, and each trial borrows a pooled
+	// engine + buffer set instead of allocating its own.
 	aveBsld := make([]float64, total)
-	tr := newTrialRunner(t, cfg.Tau)
-	err := runner.Run(context.Background(), cfg.Workers, total, func(_ context.Context, k int) error {
-		v, err := tr.run(k, q, cfg.Seed)
-		if err != nil {
-			return err
-		}
-		aveBsld[k] = v
+	tr, err := newTrialRunner(t, cfg.Tau)
+	if err != nil {
+		return nil, err
+	}
+	err = runner.Run(context.Background(), cfg.Workers, total, func(_ context.Context, k int) error {
+		st := trialPool.Get().(*trialState)
+		aveBsld[k] = tr.run(st, k, q, cfg.Seed)
+		trialPool.Put(st)
 		return nil
 	})
 	if err != nil {
@@ -153,31 +159,151 @@ func ScoreTuple(t Tuple, cfg TrialConfig) (*TupleScores, error) {
 }
 
 // trialRunner holds the shared read-only state for simulating trials; a
-// single instance is safe for concurrent run calls.
+// single instance is safe for concurrent run calls. Jobs are validated
+// once at construction — the per-trial fast path assumes a well-formed
+// tuple.
 type trialRunner struct {
-	tuple Tuple
-	tau   float64
-	jobs  []workload.Job // S followed by Q, stable job IDs
-	qIDs  map[int]bool
+	tuple  Tuple
+	tau    float64
+	jobs   []workload.Job // S followed by Q, stable job IDs
+	qStart int            // index of the first Q job in jobs
+	maxID  int            // largest job ID, for the dense rank table
+	dense  bool           // job IDs index a slice rank table (all in [0, denseIDLimit))
 }
 
-func newTrialRunner(t Tuple, tau float64) *trialRunner {
-	tr := &trialRunner{tuple: t, tau: tau, qIDs: make(map[int]bool, len(t.Q))}
+// denseIDLimit bounds the dense rank table: tuples drawn by GenerateTuple
+// or SampleTuple carry small sequential IDs, but ScoreTuple accepts any
+// Tuple, and a caller feeding archive jobs with million-scale IDs must not
+// make every pooled trial state carry a million-entry table.
+const denseIDLimit = 1 << 16
+
+func newTrialRunner(t Tuple, tau float64) (*trialRunner, error) {
+	if t.Cores <= 0 {
+		// The per-trial sim.Run used to reject this; without the guard a
+		// zero-core engine "schedules" nothing and every task keeps
+		// Start=0, yielding uniform garbage scores instead of an error.
+		return nil, sim.ErrNoCores
+	}
+	tr := &trialRunner{tuple: t, tau: tau, qStart: len(t.S), dense: true}
 	tr.jobs = append(tr.jobs, t.S...)
 	tr.jobs = append(tr.jobs, t.Q...)
-	for _, j := range t.Q {
-		tr.qIDs[j.ID] = true
+	seen := make(map[int]bool, len(tr.jobs))
+	for i := range tr.jobs {
+		if err := tr.jobs[i].Validate(t.Cores); err != nil {
+			return nil, fmt.Errorf("trainer: %w", err)
+		}
+		id := tr.jobs[i].ID
+		// Ranks (and the trial scores) are keyed by job ID; a duplicate
+		// would make one rank silently win over another.
+		if seen[id] {
+			return nil, fmt.Errorf("trainer: duplicate job id %d in tuple", id)
+		}
+		seen[id] = true
+		// Every ID must be a valid slice index for the dense table;
+		// negative or huge IDs fall back to the map.
+		if id < 0 || id >= denseIDLimit {
+			tr.dense = false
+		} else if id > tr.maxID {
+			tr.maxID = id
+		}
 	}
-	return tr
+	return tr, nil
+}
+
+// trialState is one trial's working set — the scheduling engine and the
+// permutation/rank buffers — recycled through a pool so a full ScoreTuple
+// (and the retraining rounds stacking many of them) stays allocation-flat
+// after the first few trials warm the pool.
+type trialState struct {
+	eng     *schedcore.Engine
+	rng     dist.RNG
+	perm    []int
+	rank    []int       // job ID → permutation rank; -1 = unranked
+	rankMap map[int]int // fallback for sparse job IDs
+}
+
+var trialPool = sync.Pool{New: func() any { return &trialState{} }}
+
+// Name, Score, TimeVarying and ScoreID make trialState itself the
+// fixed-order policy of its current trial, reading the rank buffers in
+// place. The scores reproduce sched.FixedOrder exactly: the rank for
+// known IDs, a beyond-any-rank value ordered by submit time for unknown
+// ones (unreachable for tuple jobs, which are all ranked).
+func (st *trialState) Name() string                  { return "FIXED" }
+func (st *trialState) TimeVarying() bool             { return false }
+func (st *trialState) Score(v sched.JobView) float64 { return v.Submit }
+
+func (st *trialState) ScoreID(id int, v sched.JobView) float64 {
+	if st.rankMap != nil {
+		if r, ok := st.rankMap[id]; ok {
+			return float64(r)
+		}
+	} else if id >= 0 && id < len(st.rank) {
+		if r := st.rank[id]; r >= 0 {
+			return float64(r)
+		}
+	}
+	return math.MaxInt32 + v.Submit
+}
+
+var _ sched.PolicyWithID = (*trialState)(nil)
+
+// setRank records one job's permutation rank.
+func (st *trialState) setRank(id, r int) {
+	if st.rankMap != nil {
+		st.rankMap[id] = r
+	} else {
+		st.rank[id] = r
+	}
+}
+
+// prepare sizes the state's buffers for a trial of the runner's tuple.
+// Only the tuple's own job IDs are reset in the dense table — O(jobs),
+// not O(maxID) — which is sound because run() then writes every one of
+// those IDs (they are unique, checked at construction) and the engine
+// never asks ScoreID about any other ID; entries left over from other
+// tuples are simply never read.
+func (st *trialState) prepare(tr *trialRunner, q int) {
+	if cap(st.perm) < q {
+		st.perm = make([]int, q)
+	}
+	st.perm = st.perm[:q]
+	if tr.dense {
+		st.rankMap = nil
+		if cap(st.rank) < tr.maxID+1 {
+			st.rank = make([]int, tr.maxID+1)
+		}
+		st.rank = st.rank[:tr.maxID+1]
+		for i := range tr.jobs {
+			st.rank[tr.jobs[i].ID] = -1
+		}
+	} else {
+		if st.rankMap == nil {
+			st.rankMap = make(map[int]int, len(tr.jobs))
+		} else {
+			clear(st.rankMap)
+		}
+	}
 }
 
 // run simulates trial k: task Q[k%q] first, the rest shuffled from the
-// trial's own sub-seed, S served ahead of all Q in arrival order.
-func (tr *trialRunner) run(k, q int, seed uint64) (float64, error) {
-	rng := newTrialRNG(seed, uint64(k))
+// trial's own sub-seed, S served ahead of all Q in arrival order. The
+// schedule and the returned AVEbsld are bit-identical to running the
+// trial through sim.Run with a sched.FixedOrder policy — the pooled
+// engine re-establishes every decision input from scratch, and the
+// bounded-slowdown sum visits the Q tasks in the same input order
+// sim.AveBsld walked the job statistics. (Job IDs are unique, enforced
+// by newTrialRunner, so "the Q tasks" is the same set under either the
+// old ID-keyed filter or the index range used here.)
+func (tr *trialRunner) run(st *trialState, k, q int, seed uint64) float64 {
+	// Reseeding the pooled generator reproduces newTrialRNG's stream
+	// without the per-trial allocation.
+	rng := &st.rng
+	rng.Reseed(dist.Split(seed, uint64(k)))
 	first := k % q
+	st.prepare(tr, q)
 	// perm = [first] ++ shuffle(others).
-	perm := make([]int, q)
+	perm := st.perm
 	perm[0] = first
 	idx := 1
 	for i := 0; i < q; i++ {
@@ -189,20 +315,31 @@ func (tr *trialRunner) run(k, q int, seed uint64) (float64, error) {
 	rest := perm[1:]
 	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
 
-	rank := make(map[int]int, len(tr.jobs))
 	for i, j := range tr.tuple.S {
-		rank[j.ID] = i // S keeps arrival order ahead of every Q task
+		st.setRank(j.ID, i) // S keeps arrival order ahead of every Q task
 	}
-	base := len(tr.tuple.S)
 	for pos, qi := range perm {
-		rank[tr.tuple.Q[qi].ID] = base + pos
+		st.setRank(tr.tuple.Q[qi].ID, tr.qStart+pos)
 	}
-	res, err := sim.Run(sim.Platform{Cores: tr.tuple.Cores}, tr.jobs, sim.Options{
-		Policy: sched.FixedOrder(rank),
-		Tau:    tr.tau,
-	})
-	if err != nil {
-		return 0, err
+
+	cfg := schedcore.Config{Policy: st}
+	if st.eng == nil {
+		st.eng = schedcore.NewEngine(tr.tuple.Cores, cfg)
+	} else {
+		st.eng.Reset(tr.tuple.Cores, cfg)
 	}
-	return sim.AveBsld(res.Stats, func(s sim.JobStats) bool { return tr.qIDs[s.Job.ID] }), nil
+	eng := st.eng
+	for i := range tr.jobs {
+		eng.PushArrival(eng.AddTask(tr.jobs[i]))
+	}
+	eng.RunBatch()
+
+	// Eq. 2 over the Q tasks (task index i is input index i, so the Q
+	// tasks are exactly indices qStart..len(jobs)-1, in input order).
+	var sum float64
+	for i := tr.qStart; i < len(tr.jobs); i++ {
+		t := eng.Task(i)
+		sum += sim.Bsld(t.Start-t.Job.Submit, t.Job.Runtime, tr.tau)
+	}
+	return sum / float64(q)
 }
