@@ -251,11 +251,11 @@ func writeFile(path string, write func(io.Writer) error) error {
 	}
 	bw := bufio.NewWriter(f)
 	if err := write(bw); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // the flush error is the one worth reporting
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {

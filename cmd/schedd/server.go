@@ -55,7 +55,7 @@ func (sv *server) handler() http.Handler {
 	mux.HandleFunc("/v1/status", sv.get(sv.status))
 	mux.HandleFunc("/v1/metrics", sv.get(sv.metrics))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
+		_, _ = w.Write([]byte("ok\n")) // a probe that hung up is its own problem
 	})
 	return mux
 }
@@ -280,13 +280,17 @@ func appendStarts(buf []byte, n *int, starts []online.Start) []byte {
 	return buf
 }
 
+// Response-body write errors mean the client went away mid-reply; the
+// mutation (if any) already applied and there is nothing actionable
+// server-side, so the discard is deliberate and explicit.
+
 func writeJSON(w http.ResponseWriter, buf []byte) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(buf)
+	_, _ = w.Write(buf)
 }
 
 func writeErr(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	w.Write([]byte(`{"error":` + strconv.Quote(msg) + "}\n"))
+	_, _ = w.Write([]byte(`{"error":` + strconv.Quote(msg) + "}\n"))
 }

@@ -139,7 +139,7 @@ func run(ctx context.Context, cores, sequences int, days, load float64, platform
 			return err
 		}
 		tr, err := gensched.ReadSWF(f)
-		f.Close()
+		_ = f.Close() // opened read-only; close cannot lose data
 		if err != nil {
 			return err
 		}

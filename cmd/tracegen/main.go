@@ -64,7 +64,7 @@ func run(platform string, cores int, days, load float64, seed uint64, estimates 
 	}
 	if err := workload.WriteSWF(w, trace); err != nil {
 		if f != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 		}
 		return err
 	}

@@ -62,6 +62,8 @@ func main() {
 		}
 		fmt.Fprintln(tw)
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nmedian AVEbsld over sequences; estimates + EASY backfilling; lower is better")
 }

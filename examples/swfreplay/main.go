@@ -46,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	parsed, err := gensched.ReadSWF(f)
-	f.Close()
+	_ = f.Close() // opened read-only; close cannot lose data
 	if err != nil {
 		log.Fatal(err)
 	}

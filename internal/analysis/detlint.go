@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that read or wait on
+// the wall clock. Inside the determinism boundary every instant comes
+// from the engine's logical clock; a single wall-clock read makes a
+// replay diverge from the run it is supposed to reproduce.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// envFuncs are the os-package functions that make behavior depend on
+// the process environment — state a replayed seed does not capture.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// DetLint enforces the determinism boundary: in deterministic zones it
+// forbids wall-clock reads (time.Now/Since/...), any use of math/rand
+// (all randomness flows through internal/dist so streams split and
+// replay), environment-dependent logic (os.Getenv/...), and goroutine
+// spawns outside the blessed internal/runner pool (ad-hoc goroutines
+// make results depend on scheduling order; the pool's index-addressed
+// contract does not).
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid wall clocks, global math/rand, env-dependent logic and unblessed goroutines in deterministic zones",
+	Run:  runDetLint,
+}
+
+func runDetLint(pass *Pass) {
+	if !pass.Zone.Deterministic() {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := importPath(imp)
+			if path == "math/rand" || path == "math/rand/v2" {
+				if !pass.Allowed(imp.Pos()) {
+					pass.Reportf(imp.Pos(), "import of %s in deterministic zone %q: all randomness must flow through internal/dist so seeds split and replays are bit-identical", path, zoneLabel(pass.RelPath))
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if !pass.Zone.GoroutineBlessed() && !pass.Allowed(n.Pos()) {
+					pass.Reportf(n.Pos(), "goroutine spawn in deterministic zone %q: fan out through the internal/runner pool, whose index-addressed results and lowest-index-error contract keep output independent of scheduling order", zoneLabel(pass.RelPath))
+				}
+			case *ast.CallExpr:
+				pkg, name := calleePkgFunc(pass.Info, n)
+				switch {
+				case pkg == "time" && wallClockFuncs[name]:
+					if !pass.Allowed(n.Pos()) {
+						pass.Reportf(n.Pos(), "time.%s in deterministic zone %q: instants must come from the engine's logical clock, never the wall clock", name, zoneLabel(pass.RelPath))
+					}
+				case pkg == "os" && envFuncs[name]:
+					if !pass.Allowed(n.Pos()) {
+						pass.Reportf(n.Pos(), "os.%s in deterministic zone %q: behavior must be a function of explicit configuration and the seed, not the process environment", name, zoneLabel(pass.RelPath))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// importPath returns the unquoted import path of spec.
+func importPath(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	if len(p) >= 2 {
+		return p[1 : len(p)-1]
+	}
+	return p
+}
+
+// zoneLabel renders the package's zone path for messages ("." for the
+// module root).
+func zoneLabel(rel string) string {
+	if rel == "" {
+		return "."
+	}
+	return rel
+}
+
+// calleePkgFunc resolves a call of the form pkg.Func to its package
+// path and function name; ("", "") for anything else (methods, locals,
+// conversions). Resolution goes through the type checker's Uses map, so
+// a local variable shadowing a package name cannot fake a match.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errProneMethods are the output-path methods whose error return is the
+// only signal that an artifact a user trusts (a trace file, a results
+// JSON, an HTTP response body) was actually persisted intact.
+var errProneMethods = map[string]bool{
+	"Write": true, "WriteString": true, "Close": true,
+	"Flush": true, "Encode": true, "Sync": true,
+}
+
+// infallibleRecvs are receiver types whose output methods are
+// documented to always return a nil error; checking them is noise.
+var infallibleRecvs = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+// ErrLint flags dropped errors on Write/WriteString/Close/Flush/Encode/
+// Sync calls in cmd/ and examples/ — the binaries whose whole purpose
+// is producing artifacts, where a swallowed short write silently ships
+// a truncated file. Policy (the PR 3 cmd audit, generalized): the
+// success path must check these errors; error-cleanup paths discard
+// explicitly with `_ =` so intent is visible; `defer x.Close()` is
+// permitted only as last-resort cleanup because the success path is
+// required to check an explicit Close separately.
+var ErrLint = &Analyzer{
+	Name: "errlint",
+	Doc:  "flag dropped errors on output-path calls (Write/Close/Flush/Encode/...) in cmd/ and examples/",
+	Run:  runErrLint,
+}
+
+func runErrLint(pass *Pass) {
+	if !pass.Zone.Cmd() {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			deferred := false
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, deferred = n.Call, true
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			name, recv, returnsErr := methodInfo(pass.Info, call)
+			if !errProneMethods[name] || !returnsErr || infallibleRecvs[recv] {
+				return true
+			}
+			if deferred && name == "Close" {
+				// Deferred Close is the last-resort cleanup path; the
+				// audit requires the success path to check an explicit
+				// Close, which this analyzer still enforces.
+				return true
+			}
+			if pass.Allowed(call.Pos()) {
+				return true
+			}
+			what := name
+			if recv != "" {
+				what = "(" + recv + ")." + name
+			}
+			pass.Reportf(call.Pos(), "dropped error from %s: check it on the success path, or discard explicitly with `_ =` on cleanup paths", what)
+			return true
+		})
+	}
+}
+
+// methodInfo resolves a method call to (method name, printable receiver
+// type, whether its results include an error). Non-method calls and
+// calls whose type the checker could not resolve return ("", "", false).
+func methodInfo(info *types.Info, call *ast.CallExpr) (name, recv string, returnsErr bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	sig, ok := selection.Type().(*types.Signature)
+	if !ok {
+		return "", "", false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			returnsErr = true
+			break
+		}
+	}
+	return sel.Sel.Name, namedRecv(selection.Recv()), returnsErr
+}
+
+// namedRecv renders the receiver's named type as "pkg.Type" (path
+// shortened to the last element), or "" when anonymous.
+func namedRecv(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}

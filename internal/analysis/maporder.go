@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map in deterministic zones. Go
+// randomizes map iteration order per run, so any map range whose body
+// can leak ordering into output (append order, first-wins selection,
+// floating-point accumulation order) breaks bit-identical replay. A
+// range that genuinely cannot leak order must say why with a
+// `//gensched:orderinvariant <why>` annotation on the statement — the
+// justification is the audit trail, and an empty one is itself a
+// violation.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration in deterministic zones unless annotated order-invariant with a justification",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !pass.Zone.Deterministic() {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.OrderInvariant(rng.Pos()) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map iteration in deterministic zone %q: iterate a sorted key slice, or annotate the statement //gensched:orderinvariant <why> if order provably cannot leak into output", zoneLabel(pass.RelPath))
+			return true
+		})
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// distPkgSuffix identifies the deterministic-randomness kernel no
+// matter what module path the repo is checked out under.
+const distPkgSuffix = "internal/dist"
+
+// SeedLint enforces seed-plumbing discipline in deterministic zones:
+// every RNG must be constructed from a seed that arrived as data — a
+// parameter, a config field, or a dist.Split derivation — never from a
+// constant baked into library code. A literal seed deep in the stack
+// means two call sites silently share a stream (correlated draws) and
+// the upcoming federation sharding cannot re-derive per-shard streams.
+// Literal seeds are legitimate only at the top of the funnel (cmd/
+// flags, examples, tests), which are outside these zones.
+var SeedLint = &Analyzer{
+	Name: "seedlint",
+	Doc:  "flag RNG construction from constant seeds in deterministic zones; seeds must be parameters or dist.Split derivations",
+	Run:  runSeedLint,
+}
+
+func runSeedLint(pass *Pass) {
+	if !pass.Zone.Deterministic() {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var fn, seedArg = "", call.Args[0]
+			if pkg, name := calleePkgFunc(pass.Info, call); strings.HasSuffix(pkg, distPkgSuffix) && name == "New" {
+				fn = "dist.New"
+			} else if name, recv, _ := methodInfo(pass.Info, call); name == "Reseed" && recv == "dist.RNG" {
+				fn = "(dist.RNG).Reseed"
+			}
+			if fn == "" {
+				return true
+			}
+			tv, ok := pass.Info.Types[seedArg]
+			if !ok || tv.Value == nil {
+				return true // not a compile-time constant: plumbed-in seed, fine
+			}
+			if pass.Allowed(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s with constant seed %s in deterministic zone %q: derive the seed with dist.Split from a caller-provided root so streams stay independent and replayable", fn, tv.Value, zoneLabel(pass.RelPath))
+			return true
+		})
+	}
+}

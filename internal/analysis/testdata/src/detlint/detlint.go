@@ -1,0 +1,36 @@
+// Package detlint is a seeded-violation fixture: checked under a
+// deterministic zone, every `// want` line must draw exactly that
+// detlint diagnostic and every unmarked line must stay silent.
+package detlint
+
+import (
+	"math/rand" // want "import of math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() (time.Time, float64) {
+	start := time.Now()          // want "time.Now"
+	elapsed := time.Since(start) // want "time.Since"
+	return start, elapsed.Seconds()
+}
+
+func globalRand() int { return rand.Intn(10) }
+
+func envDependent() string {
+	return os.Getenv("GENSCHED_MODE") // want "os.Getenv"
+}
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine spawn"
+}
+
+func allowedSpawn(ch chan int) {
+	//gensched:allow detlint fixture of a justified exception; results are index-addressed
+	go func() { ch <- 2 }()
+}
+
+func emptyJustification(ch chan int) {
+	//gensched:allow detlint
+	go func() { ch <- 3 }() // want "without a justification"
+}

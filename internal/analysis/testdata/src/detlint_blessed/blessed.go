@@ -1,0 +1,14 @@
+// Package blessed is checked under the internal/runner zone: goroutine
+// spawns are the pool's whole job and pass, but the wall clock is still
+// forbidden there.
+package blessed
+
+import "time"
+
+func spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+func wallClock() int64 {
+	return time.Now().Unix() // want "time.Now"
+}

@@ -1,0 +1,40 @@
+// Package errlint is a seeded-violation fixture for the dropped-error
+// analyzer, checked under a cmd/ zone: bare output-path calls must be
+// flagged, while checked errors, explicit `_ =` discards, deferred
+// Close cleanup, and infallible writers (strings.Builder) must pass.
+package errlint
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+)
+
+func dropped(f *os.File, enc *json.Encoder, v any) {
+	f.Write([]byte("x")) // want "dropped error from (os.File).Write"
+	enc.Encode(v)        // want "dropped error from (json.Encoder).Encode"
+	f.Close()            // want "dropped error from (os.File).Close"
+}
+
+func checked(f *os.File) error {
+	defer f.Close() // last-resort cleanup: the success path checks below
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	_ = f.Sync() // explicit discard
+	return f.Close()
+}
+
+func infallible(parts []string) string {
+	var b strings.Builder
+	b.WriteString("a")
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}
+
+func allowed(f *os.File) {
+	//gensched:allow errlint fixture demonstrating the escape hatch on a cleanup path
+	f.Close()
+}

@@ -1,0 +1,42 @@
+// Package maporder is a seeded-violation fixture for the map-iteration
+// analyzer: an unannotated map range must be flagged, a justified
+// //gensched:orderinvariant annotation must pass, an unjustified one is
+// its own violation, and slice ranges are never flagged.
+package maporder
+
+import "sort"
+
+func leaky(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//gensched:orderinvariant keys are accumulated and sorted before any consumer sees them
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unjustified(m map[string]int) int {
+	n := 0
+	//gensched:orderinvariant
+	for range m { // want "without a justification"
+		n++
+	}
+	return n
+}
+
+func slices(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+// Package seedlint is a seeded-violation fixture for the seed-plumbing
+// analyzer: RNG construction from a constant must be flagged, while
+// seeds that arrive as data (parameters, dist.Split derivations) pass.
+package seedlint
+
+import "github.com/hpcsched/gensched/internal/dist"
+
+const baked = 42
+
+func literal() *dist.RNG {
+	return dist.New(1234) // want "constant seed"
+}
+
+func constant() *dist.RNG {
+	return dist.New(baked) // want "constant seed"
+}
+
+func plumbed(seed uint64) *dist.RNG {
+	return dist.New(seed)
+}
+
+func split(seed uint64) *dist.RNG {
+	return dist.New(dist.Split(seed, 7))
+}
+
+func reseed(r *dist.RNG) {
+	r.Reseed(99) // want "constant seed"
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import "strings"
+
+// Zone classifies a package directory by which discipline contracts
+// apply to it. The zone table is the single source of truth the
+// analyzers consult; DESIGN.md ("Static analysis & determinism
+// contracts") documents the same table for humans.
+type Zone uint8
+
+const (
+	// ZoneDeterministic marks packages inside the determinism boundary:
+	// everything that runs between a seed and a metric. detlint,
+	// maporder and seedlint apply. Covers the root package and all of
+	// internal/ except the exemptions below.
+	ZoneDeterministic Zone = 1 << iota
+
+	// ZoneCmd marks user-facing binaries and examples: errlint applies
+	// (dropped Write/Close/Flush/Encode errors silently corrupt
+	// artifacts users trust).
+	ZoneCmd
+
+	// ZoneGoroutineBlessed marks the one package allowed to spawn
+	// goroutines inside the determinism boundary: internal/runner, the
+	// shared bounded pool whose determinism contract (index-addressed
+	// results, lowest-index error) is what makes fan-out safe.
+	ZoneGoroutineBlessed
+)
+
+// Deterministic reports whether detlint/maporder/seedlint apply.
+func (z Zone) Deterministic() bool { return z&ZoneDeterministic != 0 }
+
+// Cmd reports whether errlint applies.
+func (z Zone) Cmd() bool { return z&ZoneCmd != 0 }
+
+// GoroutineBlessed reports whether the package may spawn goroutines
+// despite being deterministic.
+func (z Zone) GoroutineBlessed() bool { return z&ZoneGoroutineBlessed != 0 }
+
+// deterministicExempt lists internal packages outside the determinism
+// boundary, with the reason. Everything else under internal/ — the
+// scheduling core, the simulators, the trainer/regression stack, the
+// workload generators, the adaptive loop — is inside it.
+var deterministicExempt = map[string]string{
+	// profiling's entire job is wall-clock side effects (pprof file
+	// plumbing for cmd/ binaries); nothing on the seed->metric path
+	// imports it.
+	"internal/profiling": "pprof plumbing is inherently wall-clock",
+	// analysis (this package) inspects source, not simulations; it
+	// iterates maps from go/types whose order never reaches a
+	// simulation output.
+	"internal/analysis": "static analysis tooling, not on the seed->metric path",
+}
+
+// ZoneOf resolves the discipline zone for a package directory given
+// relative to the module root ("" is the root package).
+func ZoneOf(rel string) Zone {
+	rel = strings.Trim(rel, "/")
+	var z Zone
+	switch {
+	case rel == "":
+		// The root gensched package: public Scenario/Grid/Runner API,
+		// inside the determinism boundary.
+		z |= ZoneDeterministic
+	case rel == "internal" || strings.HasPrefix(rel, "internal/"):
+		if _, exempt := deterministicExempt[rel]; !exempt {
+			z |= ZoneDeterministic
+		}
+	case rel == "cmd" || strings.HasPrefix(rel, "cmd/"),
+		rel == "examples" || strings.HasPrefix(rel, "examples/"):
+		z |= ZoneCmd
+	}
+	if rel == "internal/runner" {
+		z |= ZoneGoroutineBlessed
+	}
+	return z
+}

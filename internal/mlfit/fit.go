@@ -14,15 +14,16 @@
 package mlfit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
 	"github.com/hpcsched/gensched/internal/expr"
+	"github.com/hpcsched/gensched/internal/runner"
 )
 
 // Sample is one observation of scheduling behavior: the task's processing
@@ -284,9 +285,9 @@ func fitFeatures(form expr.Form, f features, opt Options, sc *fitScratch) Result
 // FitAll fits every form of the family (all 576) and returns the results
 // sorted by ascending rank (best fit first). Ties break on the
 // enumeration order, so the output is deterministic. Fitting fans out
-// over a bounded worker pool; the base transforms, target and weights are
-// computed once into shared FeaturePlanes that every worker borrows, and
-// each worker reuses its own scratch buffers across forms.
+// over the shared internal/runner pool; the base transforms, target and
+// weights are computed once into shared FeaturePlanes that every worker
+// borrows, and scratch buffers are recycled through a pool across forms.
 func FitAll(samples []Sample, opt Options) ([]Result, error) {
 	if len(samples) == 0 {
 		return nil, ErrNoSamples
@@ -294,27 +295,20 @@ func FitAll(samples []Sample, opt Options) ([]Result, error) {
 	planes := BuildFeaturePlanes(samples, opt.Weight)
 	forms := expr.Enumerate()
 	results := make([]Result, len(forms))
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Fan out through the shared deterministic pool: each form's result
+	// lands in its own slot, so worker count and interleaving cannot
+	// reach the output. Workers borrow scratch from a pool instead of
+	// owning one per goroutine, keeping the fit allocation-lean.
+	scratch := sync.Pool{New: func() any { return new(fitScratch) }}
+	err := runner.Run(context.Background(), opt.Workers, len(forms), func(_ context.Context, i int) error {
+		sc := scratch.Get().(*fitScratch)
+		results[i] = fitFeatures(forms[i], planes.features(forms[i]), opt, sc)
+		scratch.Put(sc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var sc fitScratch
-			for i := range work {
-				results[i] = fitFeatures(forms[i], planes.features(forms[i]), opt, &sc)
-			}
-		}()
-	}
-	for i := range forms {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 	order := make([]int, len(results))
 	for i := range order {
 		order[i] = i

@@ -198,6 +198,7 @@ func WriteSWF(w io.Writer, t *Trace) error {
 // describe one parse, not the trace).
 func sortedHeaderKeys(header map[string]string) []string {
 	keys := make([]string, 0, len(header))
+	//gensched:orderinvariant keys are accumulated and sorted before use, so map order cannot reach the written header
 	for k := range header {
 		switch k {
 		case "Computer", "MaxProcs", "MaxJobs":
