@@ -18,6 +18,16 @@
 // tracked by the baseline slowed down beyond the tolerance:
 //
 //	go run ./cmd/benchjson -gate BENCH_sim.json -baseline BENCH_baseline.json -max-regress 0.25
+//
+// Gate mode can additionally enforce a cross-benchmark ratio within the
+// fresh report itself with -ratio/-ratio-metric/-min-ratio. Both sides
+// of the ratio come from the same run on the same hardware, so unlike
+// the baseline comparison it bounds *relative* overhead — e.g. the
+// journaled submit path must sustain at least 85% of the bare online
+// throughput:
+//
+//	go run ./cmd/benchjson -gate BENCH_sim.json -baseline BENCH_baseline.json \
+//	    -ratio JournalAppend/OnlineThroughput -ratio-metric events/sec -min-ratio 0.85
 package main
 
 import (
@@ -58,18 +68,34 @@ func main() {
 	baseline := flag.String("baseline", "", "gate mode: committed baseline report JSON")
 	maxRegress := flag.Float64("max-regress", 0.25, "gate mode: maximum tolerated ns/op slowdown (0.25 = +25%)")
 	maxAllocFactor := flag.Float64("max-alloc-factor", 2.0, "gate mode: maximum tolerated allocs/op growth factor (0 disables); loose because GOMAXPROCS scales per-worker allocations")
+	ratio := flag.String("ratio", "", "gate mode: cross-benchmark ratio check NUM/DEN evaluated on the fresh report")
+	ratioMetric := flag.String("ratio-metric", "", "gate mode: custom metric unit the -ratio benchmarks are compared on (e.g. events/sec)")
+	minRatio := flag.Float64("min-ratio", 0.85, "gate mode: minimum tolerated NUM/DEN value of -ratio-metric")
 	flag.Parse()
 	if *gate != "" || *baseline != "" {
 		if *gate == "" || *baseline == "" {
 			fmt.Fprintln(os.Stderr, "benchjson: gate mode needs both -gate and -baseline")
 			os.Exit(2)
 		}
-		report, err := runGate(os.Stdout, *gate, *baseline, *maxRegress, *maxAllocFactor)
+		pass, err := runGate(os.Stdout, *gate, *baseline, *maxRegress, *maxAllocFactor)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		if !report {
+		if *ratio != "" {
+			fresh, err := readReport(*gate)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
+			rok, err := checkRatio(os.Stdout, fresh, *ratio, *ratioMetric, *minRatio)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
+			pass = pass && rok
+		}
+		if !pass {
 			os.Exit(1)
 		}
 		return
@@ -182,6 +208,52 @@ func compareReports(w io.Writer, fresh, base *Report, maxRegress, allocFactor fl
 		fmt.Fprintf(w, "benchjson: gate FAILED (tolerances: +%.0f%% ns/op, %.1fx allocs)\n", maxRegress*100, allocFactor)
 	}
 	return ok
+}
+
+// checkRatio enforces a cross-benchmark ratio within one report:
+// metric(num) / metric(den) must be at least minRatio. Both sides come
+// from the same run on the same hardware, so the check is
+// hardware-independent — it bounds relative overhead (a wrapped or
+// instrumented path against its bare counterpart), which is exactly the
+// property an absolute baseline cannot gate. A missing benchmark or
+// metric fails hard: a dropped measurement must not pass as "no
+// overhead".
+func checkRatio(w io.Writer, fresh *Report, spec, metric string, minRatio float64) (bool, error) {
+	numName, denName, found := strings.Cut(spec, "/")
+	if !found || numName == "" || denName == "" {
+		return false, fmt.Errorf("-ratio %q: want NUMERATOR/DENOMINATOR benchmark names", spec)
+	}
+	if metric == "" {
+		return false, fmt.Errorf("-ratio needs -ratio-metric")
+	}
+	lookup := func(name string) (float64, error) {
+		for _, b := range fresh.Benchmarks {
+			if b.Name == name {
+				if v := b.Metrics[metric]; v > 0 {
+					return v, nil
+				}
+				return 0, fmt.Errorf("benchmark %s has no positive %q metric", name, metric)
+			}
+		}
+		return 0, fmt.Errorf("benchmark %s missing from fresh report", name)
+	}
+	num, err := lookup(numName)
+	if err != nil {
+		return false, err
+	}
+	den, err := lookup(denName)
+	if err != nil {
+		return false, err
+	}
+	r := num / den
+	verdict := "ok"
+	ok := r >= minRatio
+	if !ok {
+		verdict = fmt.Sprintf("FAIL (< %.2f)", minRatio)
+	}
+	fmt.Fprintf(w, "benchjson: ratio %s on %s: %.0f / %.0f = %.3f (min %.2f)  %s\n",
+		spec, metric, num, den, r, minRatio, verdict)
+	return ok, nil
 }
 
 // parse scans `go test -bench` output for benchmark result lines.

@@ -119,6 +119,46 @@ func TestCompareReportsAllocGate(t *testing.T) {
 	}
 }
 
+func TestCheckRatio(t *testing.T) {
+	withMetric := func(name string, v float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 1, NsPerOp: 100, Metrics: map[string]float64{"events/sec": v}}
+	}
+	fresh := &Report{Benchmarks: []Benchmark{
+		withMetric("JournalAppend", 900e3),
+		withMetric("OnlineThroughput", 1000e3),
+		{Name: "NoMetric", Iterations: 1, NsPerOp: 100},
+	}}
+	cases := []struct {
+		name    string
+		spec    string
+		metric  string
+		min     float64
+		ok      bool
+		wantErr bool
+	}{
+		{"above-floor", "JournalAppend/OnlineThroughput", "events/sec", 0.85, true, false},
+		{"exactly-at-floor", "JournalAppend/OnlineThroughput", "events/sec", 0.90, true, false},
+		{"below-floor", "JournalAppend/OnlineThroughput", "events/sec", 0.95, false, false},
+		{"missing-numerator", "Nope/OnlineThroughput", "events/sec", 0.85, false, true},
+		{"missing-denominator", "JournalAppend/Nope", "events/sec", 0.85, false, true},
+		{"missing-metric", "NoMetric/OnlineThroughput", "events/sec", 0.85, false, true},
+		{"bad-spec", "JournalAppend", "events/sec", 0.85, false, true},
+		{"no-metric-flag", "JournalAppend/OnlineThroughput", "", 0.85, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			ok, err := checkRatio(&sb, fresh, tc.spec, tc.metric, tc.min)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v; output:\n%s", ok, tc.ok, sb.String())
+			}
+		})
+	}
+}
+
 func TestRunGateEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, rep *Report) string {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"github.com/hpcsched/gensched/internal/adaptive"
+	"github.com/hpcsched/gensched/internal/durable"
 )
 
 // The /v1/adapt endpoint controls the daemon's closed-loop adaptive
@@ -101,50 +102,38 @@ func (sv *server) adaptControl(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		rec := durable.Record{Op: durable.OpAdaptStart, Adapt: &durable.AdaptConfig{
+			Window:    req.Window,
+			MinWindow: req.MinWindow,
+			Interval:  req.Interval,
+			MinDrift:  req.MinDrift,
+			SSize:     req.SSize,
+			QSize:     req.QSize,
+			Tuples:    req.Tuples,
+			Trials:    req.Trials,
+			TopK:      req.TopK,
+			Margin:    req.Margin,
+			Cooldown:  req.Cooldown,
+			Workers:   req.Workers,
+			Seed:      req.Seed,
+		}}
 		sv.mu.Lock()
-		if sv.ad != nil {
-			sv.mu.Unlock()
-			writeErr(w, http.StatusConflict, "adaptive loop already running; stop it first")
-			return
-		}
-		opt := sv.s.Options()
-		ctrl, err := adaptive.New(adaptive.Config{
-			Cores:         sv.s.Status().Cores,
-			Now:           sv.s.Clock(),
-			Backfill:      opt.Backfill,
-			BackfillOrder: opt.BackfillOrder,
-			UseEstimates:  opt.UseEstimates,
-			Tau:           opt.Tau,
-			Window:        req.Window,
-			MinWindow:     req.MinWindow,
-			Interval:      req.Interval,
-			MinDrift:      req.MinDrift,
-			SSize:         req.SSize,
-			QSize:         req.QSize,
-			Tuples:        req.Tuples,
-			Trials:        req.Trials,
-			TopK:          req.TopK,
-			Margin:        req.Margin,
-			Cooldown:      req.Cooldown,
-			Workers:       req.Workers,
-			Seed:          req.Seed,
-			// Runs inside adaptStep, under sv.mu.
-			Queue: sv.s.QueuedJobs,
-		})
-		if err == nil {
-			sv.ad = ctrl
-			sv.adErr = nil
-		}
+		_, err := sv.applyJournal(&rec)
 		sv.mu.Unlock()
 		if err != nil {
-			writeErr(w, http.StatusConflict, err.Error())
+			writeErr(w, errStatus(err), err.Error())
 			return
 		}
 		sv.adaptStatus(w)
 	case "stop":
+		rec := durable.Record{Op: durable.OpAdaptStop}
 		sv.mu.Lock()
-		sv.ad = nil
+		_, err := sv.applyJournal(&rec)
 		sv.mu.Unlock()
+		if err != nil {
+			writeErr(w, errStatus(err), err.Error())
+			return
+		}
 		sv.adaptStatus(w)
 	default:
 		writeErr(w, http.StatusBadRequest, "action must be \"start\" or \"stop\"")
@@ -168,6 +157,10 @@ func (sv *server) adaptStep() {
 	if d != nil && d.Promoted {
 		if err := sv.s.SetPolicy(d.Policy); err != nil {
 			sv.adErr = err
+		} else {
+			// Keep the snapshot descriptor pointing at the live policy; a
+			// restored daemon reparses the promoted expression.
+			sv.policyName, sv.policyExpr = d.Policy.Name(), d.PolicyExpr
 		}
 	}
 }

@@ -33,7 +33,7 @@ type adaptStatusReply struct {
 
 func TestScheddAdaptValidation(t *testing.T) {
 	ts := newTestServer(t, 4)
-	if code, r := post(t, ts, "/v1/adapt", `{"action":"start"}`); code != http.StatusConflict || r.Error == "" {
+	if code, r := post(t, ts, "/v1/adapt", `{"action":"start"}`); code != http.StatusBadRequest || r.Error == "" {
 		t.Errorf("start without interval: code=%d reply=%+v", code, r)
 	}
 	if code, r := post(t, ts, "/v1/adapt", `{"action":"reverse"}`); code != http.StatusBadRequest || r.Error == "" {
@@ -99,7 +99,7 @@ func TestScheddAdaptLoopRetrainsAndPromotes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(s, false).handler())
+	ts := httptest.NewServer(newServer(s, 64, false).handler())
 	defer ts.Close()
 
 	code, _ := post(t, ts, "/v1/adapt",

@@ -24,7 +24,7 @@ func BenchmarkScheddEvents(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	h := newServer(s, false).handler()
+	h := newServer(s, 64, false).handler()
 	var body strings.Reader
 	do := func(path, payload string) {
 		body.Reset(payload)

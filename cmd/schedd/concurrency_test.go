@@ -45,7 +45,7 @@ func TestScheddConcurrentClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(s, false).handler())
+	ts := httptest.NewServer(newServer(s, 64, false).handler())
 	defer ts.Close()
 	client := ts.Client()
 	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 16

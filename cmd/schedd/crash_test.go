@@ -1,0 +1,427 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/dist"
+	"github.com/hpcsched/gensched/internal/durable"
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/schedcore"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/simtest"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// The crash-point tests: kill the daemon's on-disk state at every record
+// boundary (and inside record frames), recover, replay the rest of the
+// op stream, and require the final state to be BIT-IDENTICAL to an
+// uninterrupted run — compared as canonical snapshot bytes, which cover
+// the engine image, every metrics aggregate, the active policy
+// descriptor and the adaptive loop's state.
+
+// scriptOps turns a workload into the deterministic operation stream a
+// live client would produce: submissions at their submit times and
+// completions when the execution time has elapsed after the start the
+// scheduler chose (which requires actually running the scheduler while
+// scripting — the stream depends on its decisions). Control ops (policy
+// swap, adaptive start/stop) are injected at fixed op counts.
+func scriptOps(t *testing.T, init durable.InitState, jobs []workload.Job, withControl bool) []durable.Record {
+	t.Helper()
+	sv, err := buildServer(init, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h schedcore.EventHeap
+	for i := range jobs {
+		h.Push(schedcore.Event{Time: jobs[i].Submit, Kind: schedcore.KindArrival, Ref: i})
+	}
+	var ops []durable.Record
+	swapAt, adaptAt, stopAt := -1, -1, -1
+	if withControl {
+		n := 2 * len(jobs)
+		adaptAt, swapAt, stopAt = n/5, n/2, (9*n)/10
+	}
+	var inject func()
+	inject = func() {
+		switch len(ops) {
+		case adaptAt:
+			ops = append(ops, durable.Record{Op: durable.OpAdaptStart, Adapt: &durable.AdaptConfig{
+				Window: 64, MinWindow: 8, Interval: 200, SSize: 8, QSize: 16,
+				Tuples: 1, Trials: 8, TopK: 1, Workers: 1, Seed: 7,
+			}})
+		case swapAt:
+			ops = append(ops, durable.Record{Op: durable.OpPolicy, Name: "CRASHTEST",
+				Expr: "log10(r)*n + 870*log10(s)"})
+		case stopAt:
+			// Coverage guard: the loop must actually have retrained before
+			// the stream stops it, or the sweep isn't exercising adaptive
+			// recovery. The real runs replay this exact deterministic
+			// stream, so asserting here covers them all.
+			if sv.ad == nil || sv.ad.Rounds() == 0 {
+				t.Fatal("scripted stream never ran an adaptation round; retune the injection points")
+			}
+			ops = append(ops, durable.Record{Op: durable.OpAdaptStop})
+		default:
+			return
+		}
+		rec := ops[len(ops)-1]
+		if _, err := sv.apply(&rec); err != nil {
+			t.Fatalf("scripting op %d (%v): %v", len(ops)-1, rec.Op, err)
+		}
+		inject() // two injection counts can collide on one boundary
+	}
+	step := func(rec durable.Record) []online.Start {
+		inject()
+		starts, err := sv.apply(&rec)
+		if err != nil {
+			t.Fatalf("scripting op %d (%v): %v", len(ops), rec.Op, err)
+		}
+		ops = append(ops, rec)
+		return starts
+	}
+	push := func(starts []online.Start) {
+		for _, st := range starts {
+			i := -1
+			for j := range jobs {
+				if jobs[j].ID == st.ID {
+					i = j
+					break
+				}
+			}
+			h.Push(schedcore.Event{Time: st.Time + jobs[i].Runtime, Kind: schedcore.KindCompletion, Ref: i})
+		}
+	}
+	for h.Len() > 0 {
+		ev := h.Pop()
+		switch ev.Kind {
+		case schedcore.KindArrival:
+			push(step(durable.Record{Op: durable.OpSubmit, Now: ev.Time, Job: jobs[ev.Ref]}))
+		case schedcore.KindCompletion:
+			push(step(durable.Record{Op: durable.OpComplete, Now: ev.Time, ID: jobs[ev.Ref].ID}))
+		}
+	}
+	if err := sv.s.Err(); err != nil {
+		t.Fatalf("scripting run violated invariants: %v", err)
+	}
+	return ops
+}
+
+// fingerprint is the canonical byte image of everything the daemon would
+// checkpoint, with the journal sequence zeroed so runs that checkpointed
+// at different moments still compare equal iff their state is equal.
+func fingerprint(t *testing.T, sv *server) []byte {
+	t.Helper()
+	snap, err := sv.buildSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Seq = 0
+	return durable.EncodeSnapshot(snap)
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runJournaled boots a durable server on dir, applies ops, and calls
+// after(k) once the k-th op is on disk. Returns the server and a copy of
+// every op's start notifications.
+func runJournaled(t *testing.T, dir string, init durable.InitState, ops []durable.Record, ckptEvery float64, after func(k int)) (*server, [][]online.Start) {
+	t.Helper()
+	sv, err := openDurable(dir, 1, ckptEvery, init, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startsLog := make([][]online.Start, len(ops))
+	for k := range ops {
+		rec := ops[k]
+		starts, err := sv.applyJournal(&rec)
+		if err != nil {
+			t.Fatalf("op %d (%v): %v", k, rec.Op, err)
+		}
+		startsLog[k] = append([]online.Start(nil), starts...)
+		if after != nil {
+			after(k)
+		}
+	}
+	return sv, startsLog
+}
+
+// recoverAndFinish reopens a crashed data directory, replays ops[from:]
+// (checking each op's starts against the uninterrupted run), and returns
+// the final fingerprint.
+func recoverAndFinish(t *testing.T, dir string, init durable.InitState, ops []durable.Record, startsLog [][]online.Start, from int, ckptEvery float64) []byte {
+	t.Helper()
+	sv, err := openDurable(dir, 1, ckptEvery, init, false, true)
+	if err != nil {
+		t.Fatalf("recovery from crash point %d: %v", from, err)
+	}
+	for k := from; k < len(ops); k++ {
+		rec := ops[k]
+		starts, err := sv.applyJournal(&rec)
+		if err != nil {
+			t.Fatalf("crash point %d: reapplying op %d (%v): %v", from, k, rec.Op, err)
+		}
+		if len(starts) != len(startsLog[k]) {
+			t.Fatalf("crash point %d: op %d started %d jobs, uninterrupted run started %d",
+				from, k, len(starts), len(startsLog[k]))
+		}
+		for i := range starts {
+			if starts[i] != startsLog[k][i] {
+				t.Fatalf("crash point %d: op %d start %d = %+v, uninterrupted %+v",
+					from, k, i, starts[i], startsLog[k][i])
+			}
+		}
+	}
+	fp := fingerprint(t, sv)
+	if err := sv.shutdownStore(); err != nil {
+		t.Fatalf("crash point %d: shutdown: %v", from, err)
+	}
+	return fp
+}
+
+func crashWorkload(t *testing.T, seed uint64, n, cores int) []workload.Job {
+	rng := dist.New(seed)
+	return simtest.IntegerJobs(rng, n, cores)
+}
+
+// TestCrashRecoveryEveryRecord is the core crash-point sweep, without
+// checkpoints: the journal alone must reconstruct the state from any
+// record boundary.
+func TestCrashRecoveryEveryRecord(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 18
+	}
+	const cores = 16
+	init := durable.InitState{Cores: cores, Backfill: int(sim.BackfillEASY), UseEstimates: true, PolicyName: "F1"}
+	jobs := crashWorkload(t, 42, n, cores)
+	ops := scriptOps(t, init, jobs, false)
+
+	base := t.TempDir()
+	live := filepath.Join(base, "live")
+	crashAt := func(k int) string { return filepath.Join(base, fmt.Sprintf("crash-%04d", k)) }
+	sv, startsLog := runJournaled(t, live, init, ops, 0, func(k int) {
+		copyDir(t, live, crashAt(k))
+	})
+	want := fingerprint(t, sv)
+	if err := sv.shutdownStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-durable server applying the same stream: journaling must not
+	// perturb scheduling at all.
+	plain, err := buildServer(init, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range ops {
+		rec := ops[k]
+		if _, err := plain.apply(&rec); err != nil {
+			t.Fatalf("plain op %d: %v", k, err)
+		}
+	}
+	if !bytes.Equal(fingerprint(t, plain), want) {
+		t.Fatal("journaled run diverged from the in-memory run")
+	}
+
+	// Every record boundary: recover, replay the remainder, compare.
+	for k := range ops {
+		if got := recoverAndFinish(t, crashAt(k), init, ops, startsLog, k+1, 0); !bytes.Equal(got, want) {
+			t.Fatalf("crash after op %d: recovered state differs from uninterrupted run", k)
+		}
+	}
+	// The graceful-shutdown path: the live dir now holds a final
+	// checkpoint; recovery from it must land on the same state.
+	if got := recoverAndFinish(t, live, init, ops, startsLog, len(ops), 0); !bytes.Equal(got, want) {
+		t.Fatal("recovery from the final checkpoint differs from uninterrupted run")
+	}
+}
+
+// TestCrashRecoveryTornTail crashes INSIDE record frames: every byte-
+// truncation of an op's frame must recover to the previous boundary and
+// accept the rest of the stream.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	n := 16
+	if testing.Short() {
+		n = 10
+	}
+	const cores = 8
+	init := durable.InitState{Cores: cores, Backfill: int(sim.BackfillConservative), PolicyName: "FCFS"}
+	jobs := crashWorkload(t, 7, n, cores)
+	ops := scriptOps(t, init, jobs, false)
+
+	base := t.TempDir()
+	live := filepath.Join(base, "live")
+	crashAt := func(k int) string { return filepath.Join(base, fmt.Sprintf("crash-%04d", k)) }
+	sv, startsLog := runJournaled(t, live, init, ops, 0, func(k int) {
+		copyDir(t, live, crashAt(k))
+	})
+	want := fingerprint(t, sv)
+	if err := sv.shutdownStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 1; k < len(ops); k += 3 {
+		// The dir copy at k ends with op k's frame; chop bytes off its
+		// tail so recovery sees a torn append of op k.
+		dir := crashAt(k)
+		names, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var segPath string
+		for _, e := range names {
+			if filepath.Ext(e.Name()) == ".log" {
+				segPath = filepath.Join(dir, e.Name()) // only one segment: no checkpoints ran
+			}
+		}
+		full, err := os.ReadFile(segPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The copy at k-1 ends right before op k's frame.
+		frameLen := len(full) - segmentLenAfter(t, crashAt(k-1))
+		for _, cut := range []int{1, frameLen / 2, frameLen - 1} {
+			if cut <= 0 || cut >= frameLen {
+				continue
+			}
+			torn := filepath.Join(base, fmt.Sprintf("torn-%04d-%d", k, cut))
+			copyDir(t, dir, torn)
+			if err := os.WriteFile(filepath.Join(torn, filepath.Base(segPath)), full[:len(full)-cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// Op k's append was torn away: recovery resumes from op k.
+			if got := recoverAndFinish(t, torn, init, ops, startsLog, k, 0); !bytes.Equal(got, want) {
+				t.Fatalf("torn tail at op %d (cut %d): recovered state differs", k, cut)
+			}
+		}
+	}
+}
+
+// segmentLenAfter reports the single journal segment's size in a crash
+// copy, so the caller can compute the last op's frame length.
+func segmentLenAfter(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".log" {
+			info, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return int(info.Size())
+		}
+	}
+	t.Fatalf("no segment in %s", dir)
+	return 0
+}
+
+// TestCrashRecoveryWithCheckpointsAndAdaptive is the full-stack sweep:
+// policy hot-swap and a live adaptive retraining loop in the op stream,
+// checkpoints interleaving with the crash points, so recovery exercises
+// snapshot-load + bounded replay (including re-deriving retraining
+// rounds) rather than replay-from-genesis.
+func TestCrashRecoveryWithCheckpointsAndAdaptive(t *testing.T) {
+	n := 36
+	if testing.Short() {
+		n = 16
+	}
+	const cores = 16
+	const ckptEvery = 150 // logical seconds; the op stream spans far more
+	init := durable.InitState{Cores: cores, Backfill: int(sim.BackfillEASY), UseEstimates: true, PolicyName: "F1"}
+	jobs := crashWorkload(t, 1234, n, cores)
+	ops := scriptOps(t, init, jobs, true)
+
+	base := t.TempDir()
+	live := filepath.Join(base, "live")
+	crashAt := func(k int) string { return filepath.Join(base, fmt.Sprintf("crash-%04d", k)) }
+	sv, startsLog := runJournaled(t, live, init, ops, ckptEvery, func(k int) {
+		copyDir(t, live, crashAt(k))
+	})
+	if got, wantSeq := sv.store.Seq(), uint64(len(ops)+1); got != wantSeq {
+		t.Fatalf("journal sequence after the run = %d, want %d (genesis + ops)", got, wantSeq)
+	}
+	want := fingerprint(t, sv)
+	if sv.ad != nil {
+		t.Fatal("scripted stream should have stopped the adaptive loop")
+	}
+	if err := sv.shutdownStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	sawSnapshot := false
+	for k := range ops {
+		if _, err := os.Stat(filepath.Join(crashAt(k), "snapshot")); err == nil {
+			sawSnapshot = true
+		}
+		if got := recoverAndFinish(t, crashAt(k), init, ops, startsLog, k+1, ckptEvery); !bytes.Equal(got, want) {
+			t.Fatalf("crash after op %d: recovered state differs from uninterrupted run", k)
+		}
+	}
+	if !sawSnapshot {
+		t.Fatal("no crash point contained a checkpoint; lower ckptEvery")
+	}
+	if got := recoverAndFinish(t, live, init, ops, startsLog, len(ops), ckptEvery); !bytes.Equal(got, want) {
+		t.Fatal("recovery from the final checkpoint differs from uninterrupted run")
+	}
+}
+
+// TestDataDirFlagMismatch pins the guard: a journal recorded under one
+// machine shape refuses to boot under different flags.
+func TestDataDirFlagMismatch(t *testing.T) {
+	const cores = 8
+	init := durable.InitState{Cores: cores, Backfill: int(sim.BackfillEASY), PolicyName: "FCFS"}
+	dir := t.TempDir()
+	sv, err := openDurable(dir, 1, 0, init, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := durable.Record{Op: durable.OpSubmit, Now: 1, Job: workload.Job{ID: 1, Submit: 1, Runtime: 10, Cores: 1}}
+	if _, err := sv.applyJournal(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.shutdownStore(); err != nil {
+		t.Fatal(err)
+	}
+	bad := init
+	bad.Cores = 16
+	if _, err := openDurable(dir, 1, 0, bad, false, false); err == nil {
+		t.Fatal("boot accepted a journal recorded with different cores")
+	}
+	// The original shape still boots, and the submitted job survived.
+	sv2, err := openDurable(dir, 1, 0, init, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sv2.s.Status()
+	if st.Running+st.Queued != 1 {
+		t.Fatalf("recovered status lost the job: %+v", st)
+	}
+	if err := sv2.shutdownStore(); err != nil {
+		t.Fatal(err)
+	}
+}

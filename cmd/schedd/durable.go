@@ -1,0 +1,383 @@
+// Durability wiring: every mutation the daemon accepts flows through
+// apply() — both live (HTTP handler → apply → journal) and at boot
+// (snapshot restore → journal replay → apply). Because the two paths
+// share one code path and the scheduler stack is deterministic, replay
+// reconstructs the pre-crash state bit-identically; the crash-point test
+// kills the journal at every record boundary and checks exactly that.
+
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/hpcsched/gensched/internal/adaptive"
+	"github.com/hpcsched/gensched/internal/durable"
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/sim"
+)
+
+// apply executes one journaled operation against the live scheduler.
+// Called with sv.mu held. Adaptation rounds ride on the operations that
+// move the clock, exactly as they do live, so replay re-derives every
+// retraining decision instead of reading it from disk.
+func (sv *server) apply(rec *durable.Record) ([]online.Start, error) {
+	switch rec.Op {
+	case durable.OpSubmit:
+		starts, err := sv.s.SubmitAt(rec.Now, rec.Job)
+		if err != nil {
+			return nil, err
+		}
+		if sv.ad != nil {
+			job := rec.Job
+			if job.Submit == 0 {
+				job.Submit = sv.s.Clock() // the stamp SubmitAt applied
+			}
+			sv.ad.Observe(job)
+		}
+		sv.adaptStep()
+		return starts, nil
+	case durable.OpComplete:
+		starts, err := sv.s.CompleteAt(rec.Now, rec.ID)
+		if err != nil {
+			return nil, err
+		}
+		sv.adaptStep()
+		return starts, nil
+	case durable.OpAdvance:
+		t := rec.Now
+		if c := sv.s.Clock(); t < c {
+			t = c // the logical clock never moves backward
+		}
+		starts, err := sv.s.AdvanceTo(t)
+		if err != nil {
+			return nil, err
+		}
+		sv.adaptStep()
+		return starts, nil
+	case durable.OpPolicy:
+		p, err := resolvePolicy(rec.Name, rec.Expr)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		if err := sv.s.SetPolicy(p); err != nil {
+			return nil, err
+		}
+		sv.policyName, sv.policyExpr = rec.Name, rec.Expr
+		return nil, nil
+	case durable.OpAdaptStart:
+		return nil, sv.startAdapt(rec.Adapt)
+	case durable.OpAdaptStop:
+		sv.ad = nil
+		sv.adCfg = nil
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unexpected journal op %v", rec.Op)
+}
+
+// applyJournal is the full mutation path under the lock: durability
+// gate, apply, journal, checkpoint cadence. With no -data-dir the
+// journal steps are no-ops and this is just apply.
+func (sv *server) applyJournal(rec *durable.Record) ([]online.Start, error) {
+	if sv.storeErr != nil {
+		return nil, httpError(http.StatusInternalServerError,
+			fmt.Errorf("journal failed earlier, refusing mutations: %w", sv.storeErr))
+	}
+	starts, err := sv.apply(rec)
+	if err != nil {
+		return nil, err
+	}
+	if err := sv.journal(rec); err != nil {
+		return nil, err
+	}
+	sv.maybeCheckpoint()
+	return starts, nil
+}
+
+// journal appends one applied record. A failure latches storeErr: the
+// mutation is applied in memory but may not survive a crash, which the
+// response says outright.
+func (sv *server) journal(rec *durable.Record) error {
+	if sv.store == nil {
+		return nil
+	}
+	if err := sv.store.Append(rec); err != nil {
+		sv.storeErr = err
+		return httpError(http.StatusInternalServerError,
+			fmt.Errorf("journal append failed (mutation applied but not durable): %w", err))
+	}
+	return nil
+}
+
+// maybeCheckpoint writes a checkpoint when the logical clock has moved
+// ckptEvery past the last one. Called with sv.mu held after a
+// successful mutation.
+func (sv *server) maybeCheckpoint() {
+	if sv.store == nil || sv.ckptEvery <= 0 {
+		return
+	}
+	if sv.s.Clock()-sv.lastCkpt >= sv.ckptEvery {
+		sv.checkpointNow()
+	}
+}
+
+// checkpointNow snapshots the full scheduler state and rotates the
+// journal. Failures latch storeErr rather than failing the request that
+// happened to trip the cadence.
+func (sv *server) checkpointNow() {
+	snap, err := sv.buildSnapshot()
+	if err == nil {
+		err = sv.store.Checkpoint(snap)
+	}
+	if err != nil {
+		sv.storeErr = err
+		return
+	}
+	sv.lastCkpt = sv.s.Clock()
+}
+
+// buildSnapshot assembles the serializable image of everything the
+// daemon would need to come back: engine + scheduler aggregates, the
+// active policy descriptor, and the adaptive loop (config + state) if
+// one is attached.
+func (sv *server) buildSnapshot() (*durable.Snapshot, error) {
+	snap := &durable.Snapshot{
+		Init:       sv.init,
+		PolicyName: sv.policyName,
+		PolicyExpr: sv.policyExpr,
+	}
+	if err := sv.s.ExportState(&snap.Sched); err != nil {
+		return nil, err
+	}
+	if sv.ad != nil {
+		snap.Adapt = &durable.AdaptState{Config: *sv.adCfg, State: *sv.ad.ExportState()}
+	}
+	return snap, nil
+}
+
+// startAdapt attaches the adaptive loop described by ac. Called from
+// apply with sv.mu held, both for live /v1/adapt starts and replayed
+// ones.
+func (sv *server) startAdapt(ac *durable.AdaptConfig) error {
+	if ac == nil {
+		return fmt.Errorf("adapt-start record without config")
+	}
+	if sv.ad != nil {
+		return fmt.Errorf("adaptive loop already running; stop it first")
+	}
+	ctrl, err := adaptive.New(sv.adaptiveConfig(ac))
+	if err != nil {
+		return badRequest(err)
+	}
+	cfg := *ac
+	sv.ad = ctrl
+	sv.adCfg = &cfg
+	sv.adErr = nil
+	return nil
+}
+
+// adaptiveConfig expands a journaled sizing into the full adaptive
+// config: machine shape from the scheduler, sizing from the record.
+func (sv *server) adaptiveConfig(ac *durable.AdaptConfig) adaptive.Config {
+	opt := sv.s.Options()
+	return adaptive.Config{
+		Cores:         sv.cores,
+		Now:           sv.s.Clock(),
+		Backfill:      opt.Backfill,
+		BackfillOrder: opt.BackfillOrder,
+		UseEstimates:  opt.UseEstimates,
+		Tau:           opt.Tau,
+		Window:        ac.Window,
+		MinWindow:     ac.MinWindow,
+		Interval:      ac.Interval,
+		MinDrift:      ac.MinDrift,
+		SSize:         ac.SSize,
+		QSize:         ac.QSize,
+		Tuples:        ac.Tuples,
+		Trials:        ac.Trials,
+		TopK:          ac.TopK,
+		Margin:        ac.Margin,
+		Cooldown:      ac.Cooldown,
+		Workers:       ac.Workers,
+		Seed:          ac.Seed,
+		// Runs inside adaptStep, under sv.mu.
+		Queue: sv.s.QueuedJobs,
+	}
+}
+
+// --- boot ----------------------------------------------------------------
+
+// buildServer constructs a fresh scheduler+server from an InitState.
+func buildServer(init durable.InitState, realClock, check bool) (*server, error) {
+	p, err := resolvePolicy(init.PolicyName, init.PolicyExpr)
+	if err != nil {
+		return nil, err
+	}
+	s, err := online.New(init.Cores, online.Options{
+		Policy:       p,
+		UseEstimates: init.UseEstimates,
+		Backfill:     sim.BackfillMode(init.Backfill),
+		Tau:          init.Tau,
+		Check:        check,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sv := newServer(s, init.Cores, realClock)
+	sv.init = init
+	sv.policyName, sv.policyExpr = init.PolicyName, init.PolicyExpr
+	return sv, nil
+}
+
+// restoreServer rebuilds the scheduler+server from a checkpoint.
+func restoreServer(snap *durable.Snapshot, realClock, check bool) (*server, error) {
+	p, err := resolvePolicy(snap.PolicyName, snap.PolicyExpr)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot policy: %w", err)
+	}
+	s, err := online.Restore(snap.Init.Cores, online.Options{
+		Policy:       p,
+		UseEstimates: snap.Init.UseEstimates,
+		Backfill:     sim.BackfillMode(snap.Init.Backfill),
+		Tau:          snap.Init.Tau,
+		Check:        check,
+	}, &snap.Sched)
+	if err != nil {
+		return nil, err
+	}
+	sv := newServer(s, snap.Init.Cores, realClock)
+	sv.init = snap.Init
+	sv.policyName, sv.policyExpr = snap.PolicyName, snap.PolicyExpr
+	if snap.Adapt != nil {
+		ac := snap.Adapt.Config
+		ctrl, err := adaptive.Restore(sv.adaptiveConfig(&ac), &snap.Adapt.State)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot adaptive loop: %w", err)
+		}
+		sv.ad = ctrl
+		sv.adCfg = &ac
+	}
+	return sv, nil
+}
+
+// checkInit refuses to bind a journal recorded against one machine shape
+// to different flags — replaying it would produce garbage. The policy
+// descriptor is exempt: the journal's history governs the active policy,
+// and the -policy flag only matters for a fresh directory.
+func checkInit(flags, recorded durable.InitState) error {
+	type field struct {
+		name string
+		flag any
+		rec  any
+	}
+	for _, f := range []field{
+		{"cores", flags.Cores, recorded.Cores},
+		{"backfill", flags.Backfill, recorded.Backfill},
+		{"estimates", flags.UseEstimates, recorded.UseEstimates},
+		{"tau", flags.Tau, recorded.Tau},
+	} {
+		if f.flag != f.rec {
+			return fmt.Errorf("data directory was recorded with %s=%v, flags say %v", f.name, f.rec, f.flag)
+		}
+	}
+	return nil
+}
+
+// openDurable opens the data directory and rebuilds the server from
+// whatever is there: a fresh directory gets a genesis record; an
+// existing one is validated against the flags, restored from its
+// snapshot (if any) and replayed to the end of its journal.
+func openDurable(dataDir string, syncEvery int, ckptEvery float64, init durable.InitState, realClock, check bool) (*server, error) {
+	store, rec, err := durable.Open(dataDir, durable.Options{SyncEvery: syncEvery})
+	if err != nil {
+		return nil, err
+	}
+	sv, err := recoverServer(store, rec, init, realClock, check)
+	if err != nil {
+		_ = store.Close() // cleanup; the recovery error is already being reported
+		return nil, err
+	}
+	sv.ckptEvery = ckptEvery
+	return sv, nil
+}
+
+func recoverServer(store *durable.Store, rec *durable.Recovered, init durable.InitState, realClock, check bool) (*server, error) {
+	if rec.Snapshot == nil && len(rec.Records) == 0 {
+		// Fresh directory: journal the genesis record so every later boot
+		// can validate its flags and replay from nothing.
+		sv, err := buildServer(init, realClock, check)
+		if err != nil {
+			return nil, err
+		}
+		sv.store = store
+		if err := store.Append(&durable.Record{Op: durable.OpInit, Init: &init}); err != nil {
+			return nil, err
+		}
+		if err := store.Sync(); err != nil {
+			return nil, err
+		}
+		return sv, nil
+	}
+
+	records := rec.Records
+	var recInit durable.InitState
+	var sv *server
+	var err error
+	if rec.Snapshot != nil {
+		recInit = rec.Snapshot.Init
+		sv, err = restoreServer(rec.Snapshot, realClock, check)
+	} else {
+		if records[0].Op != durable.OpInit {
+			return nil, fmt.Errorf("journal does not begin with an init record")
+		}
+		recInit = *records[0].Init
+		records = records[1:]
+		sv, err = buildServer(recInit, realClock, check)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := checkInit(init, recInit); err != nil {
+		return nil, err
+	}
+	sv.store = store
+	for i := range records {
+		r := &records[i]
+		if r.Op == durable.OpInit {
+			return nil, fmt.Errorf("unexpected init record mid-journal")
+		}
+		if _, err := sv.apply(r); err != nil {
+			return nil, fmt.Errorf("journal replay: record %d (%v): %w", i, r.Op, err)
+		}
+	}
+	sv.lastCkpt = sv.s.Clock()
+	if realClock {
+		// Continue wall time from the recovered clock instead of
+		// restarting at zero, which would stall every stamp until wall
+		// time caught up with the recovered state.
+		sv.epoch = time.Now().Add(-time.Duration(sv.s.Clock() * float64(time.Second)))
+	}
+	return sv, nil
+}
+
+// shutdownStore writes a final checkpoint (graceful shutdowns recover
+// instantly, with an empty journal) and closes the journal. Called after
+// the HTTP server has drained, so no handler can race it.
+func (sv *server) shutdownStore() error {
+	if sv.store == nil {
+		return nil
+	}
+	sv.mu.Lock()
+	if sv.storeErr == nil {
+		sv.checkpointNow()
+	}
+	err := sv.storeErr
+	sv.mu.Unlock()
+	if cerr := sv.store.Close(); err == nil && cerr != nil {
+		// A poisoned store reports "journal is failed" from Close; keep
+		// the earlier, more precise error when there is one.
+		err = cerr
+	}
+	return err
+}

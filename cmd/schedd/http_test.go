@@ -1,0 +1,103 @@
+package main
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestScheddStatusCodes pins the 400/409 classification: requests the
+// client got wrong (shape, syntax, unknown names) are 400 Bad Request;
+// well-formed requests the scheduler state refuses are 409 Conflict.
+func TestScheddStatusCodes(t *testing.T) {
+	ts := newTestServer(t, 8)
+	// Seed: job 1 active, clock at 10.
+	if code, _ := post(t, ts, "/v1/submit", `{"id":1,"cores":1,"runtime":100,"now":10}`); code != 200 {
+		t.Fatalf("seed submit: code=%d", code)
+	}
+	cases := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		// Validation failures: the request itself is wrong.
+		{"bad json", "/v1/submit", `{not json`, http.StatusBadRequest},
+		{"nonpositive cores", "/v1/submit", `{"id":9,"cores":0,"runtime":10}`, http.StatusBadRequest},
+		{"negative cores", "/v1/submit", `{"id":9,"cores":-2,"runtime":10}`, http.StatusBadRequest},
+		{"nonpositive runtime", "/v1/submit", `{"id":9,"cores":1,"runtime":0}`, http.StatusBadRequest},
+		{"oversized job", "/v1/submit", `{"id":9,"cores":64,"runtime":10}`, http.StatusBadRequest},
+		{"negative estimate", "/v1/submit", `{"id":9,"cores":1,"runtime":10,"estimate":-1}`, http.StatusBadRequest},
+		{"unknown policy name", "/v1/policy", `{"name":"NOPE?!"}`, http.StatusBadRequest},
+		{"unparseable expr", "/v1/policy", `{"name":"L1","expr":"log10(("}`, http.StatusBadRequest},
+		{"adapt without interval", "/v1/adapt", `{"action":"start"}`, http.StatusBadRequest},
+		{"adapt sizing over cap", "/v1/adapt", `{"action":"start","interval":10,"tuples":100000}`, http.StatusBadRequest},
+		{"adapt unknown action", "/v1/adapt", `{"action":"reverse"}`, http.StatusBadRequest},
+		// State conflicts: a well-formed request the history refuses.
+		{"duplicate id", "/v1/submit", `{"id":1,"cores":1,"runtime":10,"now":11}`, http.StatusConflict},
+		{"submit after the clock", "/v1/submit", `{"id":9,"cores":1,"runtime":10,"submit":50,"now":20}`, http.StatusConflict},
+		{"unknown completion", "/v1/complete", `{"id":77,"now":12}`, http.StatusConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, r := post(t, ts, tc.path, tc.body)
+			if code != tc.want {
+				t.Errorf("%s %s: code=%d, want %d (reply %+v)", tc.path, tc.body, code, tc.want, r)
+			}
+			if r.Error == "" {
+				t.Errorf("%s %s: error body missing", tc.path, tc.body)
+			}
+		})
+	}
+}
+
+// TestScheddExplicitZeroNow pins that "now":0 means instant zero, not
+// "field omitted": t=0 is a real instant on the logical clock.
+func TestScheddExplicitZeroNow(t *testing.T) {
+	ts := newTestServer(t, 4)
+	code, r := post(t, ts, "/v1/submit", `{"id":1,"cores":1,"runtime":10,"now":0}`)
+	if code != 200 || r.Now != 0 {
+		t.Fatalf("submit at t=0: code=%d reply=%+v", code, r)
+	}
+	if len(r.Started) != 1 || r.Started[0].Time != 0 || r.Started[0].Wait != 0 {
+		t.Fatalf("job at t=0 should start at t=0 with zero wait: %+v", r.Started)
+	}
+	// With the clock pinned at 0, a job claiming submission at t=5 is in
+	// the future — an explicit now=0 must NOT silently re-resolve to the
+	// submit time the way an omitted field does.
+	if code, r := post(t, ts, "/v1/submit", `{"id":2,"cores":1,"runtime":10,"submit":5,"now":0}`); code != http.StatusConflict {
+		t.Fatalf("future submit under explicit now=0: code=%d reply=%+v", code, r)
+	}
+	// Omitted now still resolves to the submit time.
+	if code, r := post(t, ts, "/v1/submit", `{"id":3,"cores":1,"runtime":10,"submit":5}`); code != 200 || r.Now != 5 {
+		t.Fatalf("omitted now: code=%d reply=%+v", code, r)
+	}
+}
+
+// TestScheddHealthzMethods pins /healthz to GET and HEAD.
+func TestScheddHealthzMethods(t *testing.T) {
+	ts := newTestServer(t, 4)
+	for _, tc := range []struct {
+		method string
+		want   int
+	}{
+		{http.MethodGet, http.StatusOK},
+		{http.MethodHead, http.StatusOK},
+		{http.MethodPost, http.StatusMethodNotAllowed},
+		{http.MethodDelete, http.StatusMethodNotAllowed},
+		{http.MethodPut, http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+"/healthz", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s /healthz: code=%d, want %d", tc.method, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -46,67 +46,101 @@ import (
 	"time"
 
 	gensched "github.com/hpcsched/gensched"
-	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/durable"
 	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/sim"
 )
 
+// daemonConfig is run's flag set; one struct so boot helpers and tests
+// share it without a parade of positional arguments.
+type daemonConfig struct {
+	addr      string
+	cores     int
+	policy    string
+	backfill  string
+	estimates bool
+	tau       float64
+	clock     string
+	check     bool
+	dataDir   string  // "" = in-memory only
+	fsync     int     // records per fsync batch
+	ckptEvery float64 // logical seconds between checkpoints
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cores     = flag.Int("cores", 256, "machine size")
-		policy    = flag.String("policy", "FCFS", "initial queue policy (name, or an expression like 'log10(r)*n+870*log10(s)')")
-		backfill  = flag.String("backfill", "easy", "backfilling: none | easy | conservative")
-		estimates = flag.Bool("estimates", false, "schedule on user estimates instead of submitted runtimes")
-		tau       = flag.Float64("tau", 0, "bounded-slowdown constant (0 = default 10s)")
-		clock     = flag.String("clock", "logical", "clock source: logical (requests carry 'now') | real (wall time)")
-		check     = flag.Bool("check", false, "enable runtime invariant checking (development)")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.cores, "cores", 256, "machine size")
+	flag.StringVar(&cfg.policy, "policy", "FCFS", "initial queue policy (name, or an expression like 'log10(r)*n+870*log10(s)')")
+	flag.StringVar(&cfg.backfill, "backfill", "easy", "backfilling: none | easy | conservative")
+	flag.BoolVar(&cfg.estimates, "estimates", false, "schedule on user estimates instead of submitted runtimes")
+	flag.Float64Var(&cfg.tau, "tau", 0, "bounded-slowdown constant (0 = default 10s)")
+	flag.StringVar(&cfg.clock, "clock", "logical", "clock source: logical (requests carry 'now') | real (wall time)")
+	flag.BoolVar(&cfg.check, "check", false, "enable runtime invariant checking (development)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable state directory (empty = in-memory only; state is lost on exit)")
+	flag.IntVar(&cfg.fsync, "fsync", 1, "journal records per fsync batch (1 = every mutation durable before its response)")
+	flag.Float64Var(&cfg.ckptEvery, "checkpoint-interval", 3600, "logical seconds between snapshots (0 = only on shutdown)")
 	flag.Parse()
-	if err := run(*addr, *cores, *policy, *backfill, *estimates, *tau, *clock, *check); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cores int, policy, backfill string, estimates bool, tau float64, clock string, check bool) error {
-	p, err := resolvePolicy(policy, "")
+func run(cfg daemonConfig) error {
+	p, err := resolvePolicy(cfg.policy, "")
 	if err != nil {
 		return err
 	}
-	bf, err := parseBackfill(backfill)
+	bf, err := parseBackfill(cfg.backfill)
 	if err != nil {
 		return err
 	}
 	var realClock bool
-	switch clock {
+	switch cfg.clock {
 	case "logical":
 	case "real":
 		realClock = true
 	default:
-		return fmt.Errorf("unknown clock source %q", clock)
+		return fmt.Errorf("unknown clock source %q", cfg.clock)
 	}
-	s, err := online.New(cores, online.Options{
-		Policy:       p,
-		UseEstimates: estimates,
-		Backfill:     bf,
-		Tau:          tau,
-		Check:        check,
-	})
+	init := durable.InitState{
+		Cores:        cfg.cores,
+		Backfill:     int(bf),
+		UseEstimates: cfg.estimates,
+		Tau:          cfg.tau,
+		PolicyName:   cfg.policy,
+	}
+	var srv *server
+	if cfg.dataDir == "" {
+		srv, err = buildServer(init, realClock, cfg.check)
+	} else {
+		srv, err = openDurable(cfg.dataDir, cfg.fsync, cfg.ckptEvery, init, realClock, cfg.check)
+	}
 	if err != nil {
 		return err
 	}
-	srv := newServer(s, realClock)
 
-	l, err := net.Listen("tcp", addr)
+	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		_ = srv.shutdownStore() // cleanup; the listen error is already being reported
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "schedd: serving %d cores under %s+%s on %s (clock: %s)\n",
-		cores, p.Name(), bf, l.Addr(), clock)
+		cfg.cores, p.Name(), bf, l.Addr(), cfg.clock)
+	if cfg.dataDir != "" {
+		fmt.Fprintf(os.Stderr, "schedd: journaling to %s (fsync every %d, checkpoint every %gs, recovered to t=%g seq=%d)\n",
+			cfg.dataDir, cfg.fsync, cfg.ckptEvery, srv.s.Clock(), srv.store.Seq())
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, l, srv.handler())
+	err = serve(ctx, l, srv.handler())
+	// The listener is drained: take a final checkpoint so a graceful stop
+	// recovers instantly, and close the journal.
+	if serr := srv.shutdownStore(); err == nil {
+		err = serr
+	}
+	return err
 }
 
 // serve runs the HTTP server until ctx is cancelled, then shuts down

@@ -26,7 +26,7 @@ func newTestServer(t *testing.T, cores int) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(s, false).handler())
+	ts := httptest.NewServer(newServer(s, cores, false).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -124,7 +124,7 @@ func TestScheddSubmitCompleteFlow(t *testing.T) {
 
 func TestScheddErrors(t *testing.T) {
 	ts := newTestServer(t, 4)
-	if code, r := post(t, ts, "/v1/submit", `{"id":1,"cores":9,"runtime":10}`); code != http.StatusConflict || r.Error == "" {
+	if code, r := post(t, ts, "/v1/submit", `{"id":1,"cores":9,"runtime":10}`); code != http.StatusBadRequest || r.Error == "" {
 		t.Errorf("oversized job: code=%d reply=%+v", code, r)
 	}
 	if code, _ := post(t, ts, "/v1/submit", `{"id":1,"cores":1,"runtime":10}`); code != 200 {
@@ -157,7 +157,7 @@ func TestScheddErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET on POST endpoint: code=%d", resp.StatusCode)
 	}
-	if code, r := post(t, ts, "/v1/policy", `{"name":"NOPE?!"}`); code != http.StatusConflict || r.Error == "" {
+	if code, r := post(t, ts, "/v1/policy", `{"name":"NOPE?!"}`); code != http.StatusBadRequest || r.Error == "" {
 		t.Errorf("unknown policy: code=%d reply=%+v", code, r)
 	}
 }
@@ -217,7 +217,7 @@ func TestScheddGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, l, newServer(s, false).handler()) }()
+	go func() { done <- serve(ctx, l, newServer(s, 64, false).handler()) }()
 
 	url := fmt.Sprintf("http://%s", l.Addr())
 	var lastErr error

@@ -2,12 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"github.com/hpcsched/gensched/internal/adaptive"
+	"github.com/hpcsched/gensched/internal/durable"
 	"github.com/hpcsched/gensched/internal/online"
 	"github.com/hpcsched/gensched/internal/workload"
 )
@@ -24,25 +26,67 @@ import (
 type server struct {
 	mu        sync.Mutex
 	s         *online.Scheduler
+	cores     int
 	realClock bool
 	epoch     time.Time
 
 	// ad is the attached adaptive retraining loop, if /v1/adapt started
-	// one (see adapt.go); adErr records its last failure. Both are
-	// guarded by mu like every other scheduler interaction.
+	// one (see adapt.go); adErr records its last failure; adCfg is the
+	// journaled sizing that started the loop (carried into snapshots).
+	// All guarded by mu like every other scheduler interaction.
 	ad    *adaptive.Controller
 	adErr error
+	adCfg *durable.AdaptConfig
+
+	// Durability (see durable.go). store is nil without -data-dir.
+	// policyName/policyExpr track the descriptor of the active policy so
+	// a snapshot can rebuild it through resolvePolicy. storeErr latches
+	// the first journal failure: the in-memory state is then ahead of the
+	// durable state, so further mutations are refused rather than
+	// widening the gap.
+	store      *durable.Store
+	storeErr   error
+	init       durable.InitState
+	policyName string
+	policyExpr string
+	ckptEvery  float64 // logical seconds between checkpoints (0 = off)
+	lastCkpt   float64
 
 	bufs sync.Pool // *[]byte response buffers
 }
 
-func newServer(s *online.Scheduler, realClock bool) *server {
+func newServer(s *online.Scheduler, cores int, realClock bool) *server {
 	return &server{
 		s:         s,
+		cores:     cores,
 		realClock: realClock,
 		epoch:     time.Now(),
 		bufs:      sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }},
 	}
+}
+
+// statusError pins an HTTP status to an error. Handler errors default to
+// 409 Conflict (the request was well-formed but the scheduler state
+// refuses it: duplicate ID, backward clock, loop already running);
+// validation failures wrap in 400 via badRequest.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+func httpError(code int, err error) error { return &statusError{code: code, err: err} }
+func badRequest(err error) error          { return httpError(http.StatusBadRequest, err) }
+
+// errStatus maps a handler error to its HTTP status.
+func errStatus(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return http.StatusConflict
 }
 
 func (sv *server) handler() http.Handler {
@@ -55,22 +99,28 @@ func (sv *server) handler() http.Handler {
 	mux.HandleFunc("/v1/status", sv.get(sv.status))
 	mux.HandleFunc("/v1/metrics", sv.get(sv.metrics))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeErr(w, http.StatusMethodNotAllowed, "GET or HEAD only")
+			return
+		}
 		_, _ = w.Write([]byte("ok\n")) // a probe that hung up is its own problem
 	})
 	return mux
 }
 
 // request is the body every mutating endpoint accepts; endpoints read the
-// fields they need.
+// fields they need. Now is a pointer so an explicit "now":0 — a real
+// instant on the logical clock — is distinguishable from an omitted
+// field.
 type request struct {
-	ID       int     `json:"id"`
-	Cores    int     `json:"cores"`
-	Runtime  float64 `json:"runtime"`
-	Estimate float64 `json:"estimate"`
-	Submit   float64 `json:"submit"`
-	Now      float64 `json:"now"`
-	Name     string  `json:"name"`
-	Expr     string  `json:"expr"`
+	ID       int      `json:"id"`
+	Cores    int      `json:"cores"`
+	Runtime  float64  `json:"runtime"`
+	Estimate float64  `json:"estimate"`
+	Submit   float64  `json:"submit"`
+	Now      *float64 `json:"now"`
+	Name     string   `json:"name"`
+	Expr     string   `json:"expr"`
 }
 
 func (sv *server) post(h func(http.ResponseWriter, *request) error) http.HandlerFunc {
@@ -92,7 +142,7 @@ func (sv *server) post(h func(http.ResponseWriter, *request) error) http.Handler
 			return
 		}
 		if err := h(w, &req); err != nil {
-			writeErr(w, http.StatusConflict, err.Error())
+			writeErr(w, errStatus(err), err.Error())
 		}
 	}
 }
@@ -109,30 +159,35 @@ func (sv *server) get(h func(http.ResponseWriter)) http.HandlerFunc {
 
 // now resolves the effective clock for a request: wall time since boot
 // under -clock real, the request's "now" (never backward; omitted means
-// "at the current clock") under the logical clock.
+// "at the current clock", and an explicit 0 IS instant zero) under the
+// logical clock. Called with sv.mu held — it reads the clock.
 func (sv *server) now(req *request) float64 {
 	if sv.realClock {
 		return time.Since(sv.epoch).Seconds()
 	}
-	n := req.Now
-	if n == 0 && req.Submit > 0 {
-		n = req.Submit
+	if req.Now != nil {
+		return *req.Now
 	}
-	return n
+	if req.Submit > 0 {
+		return req.Submit
+	}
+	return sv.s.Clock()
 }
 
-// mutate runs one scheduler operation under the lock and renders its
-// start notifications — the shared body of every mutating endpoint. The
-// op must leave the clock untouched when it fails (the online composite
-// operations guarantee this), so a rejected request can never wedge the
-// stream by stranding the clock in the future.
-func (sv *server) mutate(w http.ResponseWriter, op func() ([]online.Start, error)) error {
+// mutate runs one mutating operation through the full path — build its
+// journal record under the lock (the resolved clock lives in the
+// record), apply, journal, checkpoint if due — and renders the start
+// notifications. The op must leave the clock untouched when it fails
+// (the online composite operations guarantee this), so a rejected
+// request can never wedge the stream by stranding the clock in the
+// future.
+func (sv *server) mutate(w http.ResponseWriter, build func() durable.Record) error {
 	bp := sv.bufs.Get().(*[]byte)
 	buf := append((*bp)[:0], `{"started":[`...)
 	sv.mu.Lock()
-	starts, err := op()
+	rec := build()
+	starts, err := sv.applyJournal(&rec)
 	if err == nil {
-		sv.adaptStep() // run any adaptation round the clock made due
 		n := 0
 		buf = appendStarts(buf, &n, starts)
 		buf = append(buf, `],"now":`...)
@@ -156,41 +211,38 @@ func (sv *server) submit(w http.ResponseWriter, req *request) error {
 		Estimate: req.Estimate,
 		Cores:    req.Cores,
 	}
-	return sv.mutate(w, func() ([]online.Start, error) {
-		starts, err := sv.s.SubmitAt(sv.now(req), job)
-		if err == nil && sv.ad != nil {
-			if job.Submit == 0 {
-				job.Submit = sv.s.Clock() // the stamp SubmitAt applied
-			}
-			sv.ad.Observe(job)
-		}
-		return starts, err
+	// Shape problems — nonpositive cores or runtime, oversized for the
+	// platform — are the client's fault: 400, before anything mutates.
+	// What remains for SubmitAt are state conflicts (duplicate ID, future
+	// submit), which stay 409.
+	if err := job.Validate(sv.cores); err != nil {
+		return badRequest(err)
+	}
+	return sv.mutate(w, func() durable.Record {
+		return durable.Record{Op: durable.OpSubmit, Now: sv.now(req), Job: job}
 	})
 }
 
 func (sv *server) complete(w http.ResponseWriter, req *request) error {
-	return sv.mutate(w, func() ([]online.Start, error) {
-		return sv.s.CompleteAt(sv.now(req), req.ID)
+	return sv.mutate(w, func() durable.Record {
+		return durable.Record{Op: durable.OpComplete, Now: sv.now(req), ID: req.ID}
 	})
 }
 
 func (sv *server) advance(w http.ResponseWriter, req *request) error {
-	return sv.mutate(w, func() ([]online.Start, error) {
-		t := sv.now(req)
-		if c := sv.s.Clock(); t < c {
-			t = c // the logical clock never moves backward
-		}
-		return sv.s.AdvanceTo(t)
+	return sv.mutate(w, func() durable.Record {
+		return durable.Record{Op: durable.OpAdvance, Now: sv.now(req)}
 	})
 }
 
 func (sv *server) policy(w http.ResponseWriter, req *request) error {
 	p, err := resolvePolicy(req.Name, req.Expr)
 	if err != nil {
-		return err
+		return badRequest(err)
 	}
+	rec := durable.Record{Op: durable.OpPolicy, Name: req.Name, Expr: req.Expr}
 	sv.mu.Lock()
-	err = sv.s.SetPolicy(p)
+	_, err = sv.applyJournal(&rec)
 	sv.mu.Unlock()
 	if err != nil {
 		return err

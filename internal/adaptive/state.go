@@ -1,0 +1,73 @@
+// Controller state export/restore for the durable daemon. The serialized
+// image is exactly the state the loop's future decisions depend on: the
+// observation window (oldest first), the round grid (anchor/nextCheck),
+// the drift reference, the promotion clock and the round counter that
+// seeds each round's RNG stream (dist.Split(Seed, rounds)). The decision
+// history is a diagnostic ring, not decision state, and is deliberately
+// not serialized — after a restore, /v1/adapt reports no "last" decision
+// until the next round runs.
+
+package adaptive
+
+import (
+	"fmt"
+
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// ControllerState is the serializable image of a Controller.
+type ControllerState struct {
+	Window      []workload.Job // observed jobs, oldest first
+	Anchor      float64
+	NextCheck   float64
+	LastPromote float64
+	LastChar    *Characterization
+	Rounds      int
+	Promotions  int
+}
+
+// ExportState returns the controller's serializable image. The window is
+// copied (via snapshot), so later Observes do not mutate it.
+func (c *Controller) ExportState() *ControllerState {
+	st := &ControllerState{
+		Window:      c.win.snapshot(),
+		Anchor:      c.anchor,
+		NextCheck:   c.nextCheck,
+		LastPromote: c.lastPromote,
+		Rounds:      c.rounds,
+		Promotions:  c.promotions,
+	}
+	if c.lastChar != nil {
+		ch := *c.lastChar
+		st.LastChar = &ch
+	}
+	return st
+}
+
+// Restore builds a Controller from an exported image under cfg, which
+// must carry the same sizing the exporting controller ran with (the
+// durable layer journals and replays the original start request, so this
+// holds by construction). Re-adding the window oldest-first reproduces the
+// exported ring's observable content exactly.
+func Restore(cfg Config, st *ControllerState) (*Controller, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Window) > len(c.win.buf) {
+		return nil, fmt.Errorf("adaptive: state window holds %d jobs, capacity is %d", len(st.Window), len(c.win.buf))
+	}
+	for _, j := range st.Window {
+		c.win.add(j)
+	}
+	c.anchor = st.Anchor
+	c.nextCheck = st.NextCheck
+	c.lastPromote = st.LastPromote
+	if st.LastChar != nil {
+		ch := *st.LastChar
+		c.lastChar = &ch
+	}
+	c.rounds = st.Rounds
+	c.promotions = st.Promotions
+	return c, nil
+}

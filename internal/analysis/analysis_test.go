@@ -162,6 +162,7 @@ func TestZoneOf(t *testing.T) {
 		{"internal/dist", true, false, false},
 		{"internal/adaptive", true, false, false},
 		{"internal/runner", true, false, true},
+		{"internal/durable", true, true, false},
 		{"internal/profiling", false, false, false},
 		{"internal/analysis", false, false, false},
 		{"cmd/schedd", false, true, false},

@@ -73,5 +73,15 @@ func ZoneOf(rel string) Zone {
 	if rel == "internal/runner" {
 		z |= ZoneGoroutineBlessed
 	}
+	// internal/durable owns the daemon's on-disk state (snapshot + WAL).
+	// It stays inside the determinism boundary — recovery replay must be
+	// bit-reproducible, so no wall clocks or goroutines; fsync batching
+	// is record-counted and checkpoint cadence rides the logical clock —
+	// and is additionally errlint-checked like a cmd/ package, because a
+	// dropped Write/Sync/Close error here silently voids the durability
+	// contract the crash-recovery tests pin.
+	if rel == "internal/durable" {
+		z |= ZoneCmd
+	}
 	return z
 }

@@ -1,0 +1,141 @@
+// Package durable is cmd/schedd's persistence subsystem: a write-ahead
+// log of every mutating operation plus periodic snapshots of the full
+// scheduler state, so a daemon killed at any instant recovers to exactly
+// the state it would have had — recovery is snapshot-load followed by a
+// bounded replay of the records journaled after it, and the crash-point
+// test (cmd/schedd) pins the result bit-identical to an uninterrupted
+// run.
+//
+// # On-disk layout
+//
+// A data directory holds journal segments and at most one snapshot:
+//
+//	wal-<seq 16hex>.log   journal segment; records <seq>, <seq>+1, ...
+//	snapshot              latest checkpoint (atomic tmp+rename)
+//
+// Every record and the snapshot payload are framed identically:
+// [length u32le][crc32c u32le][payload]. A segment file starts with an
+// 8-byte magic and the u64le sequence number of its first record; record
+// sequence numbers are implicit (base + index), which is what makes a
+// torn tail detectable purely from framing. Reading stops at the first
+// frame whose length or checksum does not hold: in the newest segment
+// that is the torn tail of an interrupted append and is truncated away on
+// recovery; anywhere else it is corruption and recovery refuses.
+//
+// A checkpoint writes the snapshot (tmp + rename + directory sync),
+// rotates the journal to a fresh segment based at the snapshot's
+// sequence, and deletes the older segments oldest-first — every crash
+// window between those steps leaves either the old snapshot with a
+// longer journal or the new snapshot with a journal suffix, both of
+// which recovery handles by skipping records below the snapshot
+// sequence.
+//
+// # Durability vs. throughput
+//
+// Appends go through a buffered writer; Options.SyncEvery controls how
+// many records may share one flush+fsync (1 = group of one, every record
+// durable before its response). Larger batches amortize the fsync at the
+// cost of the tail: a crash can lose up to SyncEvery-1 acknowledged
+// records. The daemon's recovery stays correct either way — the journal
+// prefix that survived is a valid history, just a shorter one.
+//
+// The package is inside the determinism boundary (genschedvet's zone
+// table): it performs file I/O but reads no wall clock and spawns no
+// goroutines — fsync batching is record-counted, checkpoint cadence is
+// the daemon's logical clock — so recovery replay is a pure function of
+// the bytes on disk.
+package durable
+
+import (
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// Op identifies one journaled mutating operation.
+type Op uint8
+
+const (
+	// OpInit is the genesis record of a fresh data directory: the
+	// configuration the daemon booted with. Replay from an empty snapshot
+	// starts by rebuilding this scheduler.
+	OpInit Op = 1 + iota
+	// OpSubmit is a job submission at Record.Now.
+	OpSubmit
+	// OpComplete is a completion report for Record.ID at Record.Now.
+	OpComplete
+	// OpAdvance moves the logical clock to Record.Now.
+	OpAdvance
+	// OpPolicy hot-swaps the queue policy to the (Name, Expr) descriptor.
+	OpPolicy
+	// OpAdaptStart attaches the adaptive retraining loop with
+	// Record.Adapt's sizing. The loop's own decisions are NOT journaled:
+	// they are a deterministic function of the scheduler history, so
+	// replay re-derives every retraining round and promotion.
+	OpAdaptStart
+	// OpAdaptStop detaches the adaptive loop.
+	OpAdaptStop
+)
+
+// String names the op for diagnostics.
+func (op Op) String() string {
+	switch op {
+	case OpInit:
+		return "init"
+	case OpSubmit:
+		return "submit"
+	case OpComplete:
+		return "complete"
+	case OpAdvance:
+		return "advance"
+	case OpPolicy:
+		return "policy"
+	case OpAdaptStart:
+		return "adapt-start"
+	case OpAdaptStop:
+		return "adapt-stop"
+	}
+	return "op(" + string('0'+byte(op)) + ")"
+}
+
+// InitState is the boot configuration journaled as the genesis record and
+// embedded in every snapshot. On recovery the daemon's flags must agree
+// with it — silently rebinding a journal recorded against one machine
+// shape to another would replay into garbage.
+type InitState struct {
+	Cores        int
+	Backfill     int // sim.BackfillMode
+	UseEstimates bool
+	Tau          float64
+	PolicyName   string // initial policy descriptor, resolvePolicy form
+	PolicyExpr   string
+}
+
+// AdaptConfig is the sanitized sizing of an adaptive-loop start request,
+// journaled so replay re-attaches an identical loop.
+type AdaptConfig struct {
+	Window    int
+	MinWindow int
+	Interval  float64
+	MinDrift  float64
+	SSize     int
+	QSize     int
+	Tuples    int
+	Trials    int
+	TopK      int
+	Margin    float64
+	Cooldown  float64
+	Workers   int
+	Seed      uint64
+}
+
+// Record is one journaled mutating operation. Only the fields the Op
+// reads are encoded; see the codec for the exact wire layout.
+type Record struct {
+	Op    Op
+	Now   float64      // resolved request instant (submit/complete/advance)
+	Job   workload.Job // OpSubmit
+	ID    int          // OpComplete
+	Name  string       // OpPolicy descriptor
+	Expr  string
+	Init  *InitState   // OpInit
+	Adapt *AdaptConfig // OpAdaptStart
+}

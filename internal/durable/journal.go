@@ -1,0 +1,154 @@
+// Framing and segment files. One frame is [length u32le][crc32c u32le]
+// [payload]; a segment file is an 8-byte magic, the u64le base sequence
+// of its first record, then frames. The CRC (Castagnoli) covers the
+// payload only — the length field is validated by bounds, and any
+// mismatch of either marks the end of the valid prefix.
+
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const (
+	segMagic  = "GSWAL001"
+	snapMagic = "GSSNAP01"
+	// segHeaderLen is magic + base sequence.
+	segHeaderLen = len(segMagic) + 8
+	frameHeader  = 8
+	// maxFrame bounds one record or snapshot payload; a length field
+	// beyond it is treated as corruption, not an allocation request.
+	maxFrame = 1 << 26
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame wraps payload in a frame onto dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = appendU32(dst, uint32(len(payload)))
+	dst = appendU32(dst, crc32.Checksum(payload, crcTable))
+	return append(dst, payload...)
+}
+
+// nextFrame extracts the frame starting at b. ok is false when no intact
+// frame starts there — a torn or corrupt tail.
+func nextFrame(b []byte) (payload, rest []byte, ok bool) {
+	if len(b) < frameHeader {
+		return nil, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n > maxFrame || len(b) < frameHeader+n {
+		return nil, nil, false
+	}
+	payload = b[frameHeader : frameHeader+n]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[4:]) {
+		return nil, nil, false
+	}
+	return payload, b[frameHeader+n:], true
+}
+
+// segmentName renders the canonical file name for a segment based at seq.
+// Fixed-width hex keeps lexical directory order equal to sequence order.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("wal-%016x.log", seq)
+}
+
+// parseSegmentName inverts segmentName.
+func parseSegmentName(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "wal-%016x.log", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	if name != segmentName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// segment is one journal file as read back at recovery.
+type segment struct {
+	path    string
+	base    uint64   // sequence of the first record
+	records []Record // decoded records, in order
+	// validLen is the byte offset of the end of the last intact frame;
+	// torn reports whether bytes beyond it exist (an interrupted append).
+	validLen int64
+	torn     bool
+}
+
+// readSegment reads and decodes one segment file. Framing failures mark
+// the torn tail; a decode failure inside an intact frame is real
+// corruption and fails the read.
+func readSegment(path string) (*segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < segHeaderLen || string(data[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("durable: %s: not a journal segment", path)
+	}
+	s := &segment{
+		path:     path,
+		base:     binary.LittleEndian.Uint64(data[len(segMagic):]),
+		validLen: int64(segHeaderLen),
+	}
+	rest := data[segHeaderLen:]
+	for len(rest) > 0 {
+		payload, next, ok := nextFrame(rest)
+		if !ok {
+			s.torn = true
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil, fmt.Errorf("durable: %s: record %d: %w", path, s.base+uint64(len(s.records)), err)
+		}
+		s.records = append(s.records, rec)
+		s.validLen += int64(frameHeader + len(payload))
+		rest = next
+	}
+	return s, nil
+}
+
+// createFileAtomic writes content to dir/name via a temp file, fsync,
+// rename, and directory fsync, so the name either holds the full content
+// or does not exist.
+func createFileAtomic(dir, name string, content []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(content); err != nil {
+		_ = f.Close() // cleanup; the write error is already being reported
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // cleanup; the sync error is already being reported
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename or create within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // cleanup; the sync error is already being reported
+		return err
+	}
+	return d.Close()
+}

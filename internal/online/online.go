@@ -155,16 +155,23 @@ func New(cores int, opt Options) (*Scheduler, error) {
 		lastFinish:  math.Inf(-1),
 	}
 	s.opt.Tau = tau
-	s.eng = schedcore.NewEngine(cores, schedcore.Config{
-		Policy:              opt.Policy,
-		UseEstimates:        opt.UseEstimates,
-		Backfill:            opt.Backfill,
-		BackfillOrder:       opt.BackfillOrder,
-		Check:               opt.Check,
+	s.eng = schedcore.NewEngine(cores, s.engineConfig())
+	return s, nil
+}
+
+// engineConfig is the core configuration a Scheduler drives its engine
+// with; New and Restore (state.go) build engines from the same source of
+// truth so a restored scheduler cannot drift from a fresh one.
+func (s *Scheduler) engineConfig() schedcore.Config {
+	return schedcore.Config{
+		Policy:              s.opt.Policy,
+		UseEstimates:        s.opt.UseEstimates,
+		Backfill:            s.opt.Backfill,
+		BackfillOrder:       s.opt.BackfillOrder,
+		Check:               s.opt.Check,
 		ExternalCompletions: true,
 		OnStart:             s.onStart,
-	})
-	return s, nil
+	}
 }
 
 // onStart observes every task the core starts during a pass.

@@ -1,0 +1,101 @@
+// Scheduler state export/restore: the serializable image of a Scheduler —
+// the engine image plus the ID index and the incrementally maintained
+// metric aggregates — for the durable daemon's snapshots. Restore is the
+// inverse constructor: New, then an exact re-establishment of every field,
+// so a restored scheduler's future behavior and metrics are bit-identical
+// to the exported one's (the crash-point test pins this).
+
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcsched/gensched/internal/schedcore"
+)
+
+// ActiveJob is one (job ID → task slot) entry of the scheduler's index,
+// in the serializable image.
+type ActiveJob struct {
+	ID   int
+	Slot int
+}
+
+// SchedulerState is the serializable image of a Scheduler. Float
+// aggregates are state, not derived values — they accumulate in completion
+// order — so they are carried verbatim (including the ±Inf first/last
+// sentinels) rather than recomputed.
+type SchedulerState struct {
+	Eng    schedcore.EngineState
+	Active []ActiveJob // sorted by job ID
+	Dirty  bool
+
+	Submitted   int
+	Completed   int
+	SumB, SumW  float64
+	Busy        float64
+	MaxB, MaxW  float64
+	FirstSubmit float64
+	LastFinish  float64
+}
+
+// ExportState writes the scheduler's serializable image into st, reusing
+// its slices.
+func (s *Scheduler) ExportState(st *SchedulerState) error {
+	if err := s.eng.ExportState(&st.Eng); err != nil {
+		return err
+	}
+	st.Active = st.Active[:0]
+	for id, ti := range s.byID { //gensched:orderinvariant entries are sorted by ID below before anything reads them
+		st.Active = append(st.Active, ActiveJob{ID: id, Slot: ti})
+	}
+	sort.Slice(st.Active, func(i, j int) bool { return st.Active[i].ID < st.Active[j].ID })
+	st.Dirty = s.dirty
+	st.Submitted = s.submitted
+	st.Completed = s.completed
+	st.SumB, st.SumW = s.sumB, s.sumW
+	st.Busy = s.busy
+	st.MaxB, st.MaxW = s.maxB, s.maxW
+	st.FirstSubmit = s.firstSubmit
+	st.LastFinish = s.lastFinish
+	return nil
+}
+
+// Restore builds a Scheduler from an exported image, under the given
+// options (whose Policy must be the policy that was active at export — the
+// snapshot carries its descriptor). The ID index is validated against the
+// engine image so a corrupt snapshot cannot alias two jobs onto one slot.
+func Restore(cores int, opt Options, st *SchedulerState) (*Scheduler, error) {
+	s, err := New(cores, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.eng.ImportState(cores, s.engineConfig(), &st.Eng); err != nil {
+		return nil, err
+	}
+	for i, a := range st.Active {
+		if i > 0 && st.Active[i-1].ID >= a.ID {
+			return nil, fmt.Errorf("online: state index not strictly ID-sorted at entry %d", i)
+		}
+		if a.Slot < 0 || a.Slot >= len(st.Eng.Tasks) {
+			return nil, fmt.Errorf("online: state index slot %d outside task table", a.Slot)
+		}
+		t := s.eng.Task(a.Slot)
+		if t.Done {
+			return nil, fmt.Errorf("online: state index maps job %d to completed slot %d", a.ID, a.Slot)
+		}
+		if t.Job.ID != a.ID {
+			return nil, fmt.Errorf("online: state index maps job %d to slot %d holding job %d", a.ID, a.Slot, t.Job.ID)
+		}
+		s.byID[a.ID] = a.Slot
+	}
+	s.dirty = st.Dirty
+	s.submitted = st.Submitted
+	s.completed = st.Completed
+	s.sumB, s.sumW = st.SumB, st.SumW
+	s.busy = st.Busy
+	s.maxB, s.maxW = st.MaxB, st.MaxW
+	s.firstSubmit = st.FirstSubmit
+	s.lastFinish = st.LastFinish
+	return s, nil
+}
