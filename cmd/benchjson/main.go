@@ -19,15 +19,28 @@
 //
 //	go run ./cmd/benchjson -gate BENCH_sim.json -baseline BENCH_baseline.json -max-regress 0.25
 //
-// Gate mode can additionally enforce a cross-benchmark ratio within the
+// Gate mode can additionally enforce cross-benchmark ratios within the
 // fresh report itself with -ratio/-ratio-metric/-min-ratio. Both sides
-// of the ratio come from the same run on the same hardware, so unlike
+// of a ratio come from the same run on the same hardware, so unlike
 // the baseline comparison it bounds *relative* overhead — e.g. the
 // journaled submit path must sustain at least 85% of the bare online
 // throughput:
 //
 //	go run ./cmd/benchjson -gate BENCH_sim.json -baseline BENCH_baseline.json \
 //	    -ratio JournalAppend/OnlineThroughput -ratio-metric events/sec -min-ratio 0.85
+//
+// -ratio repeats, and each spec may carry its own minimum as a :MIN
+// suffix (overriding -min-ratio), so one gate invocation can hold
+// several overhead bounds at once:
+//
+//	-ratio JournalAppend/OnlineThroughput:0.85 -ratio-metric events/sec
+//
+// -floor gates a single benchmark's own metric against a minimum,
+// NAME:METRIC:MIN — for benchmarks that measure a ratio internally
+// (a paired overhead measurement immune to cross-benchmark machine
+// drift) and report it via b.ReportMetric:
+//
+//	-floor OnlineThroughputTelemetry:overhead_ratio:0.95
 package main
 
 import (
@@ -68,9 +81,24 @@ func main() {
 	baseline := flag.String("baseline", "", "gate mode: committed baseline report JSON")
 	maxRegress := flag.Float64("max-regress", 0.25, "gate mode: maximum tolerated ns/op slowdown (0.25 = +25%)")
 	maxAllocFactor := flag.Float64("max-alloc-factor", 2.0, "gate mode: maximum tolerated allocs/op growth factor (0 disables); loose because GOMAXPROCS scales per-worker allocations")
-	ratio := flag.String("ratio", "", "gate mode: cross-benchmark ratio check NUM/DEN evaluated on the fresh report")
+	var ratios []string
+	flag.Func("ratio", "gate mode: cross-benchmark ratio check NUM/DEN[:MIN] evaluated on the fresh report (repeatable)", func(s string) error {
+		if s == "" {
+			return fmt.Errorf("empty -ratio spec")
+		}
+		ratios = append(ratios, s)
+		return nil
+	})
 	ratioMetric := flag.String("ratio-metric", "", "gate mode: custom metric unit the -ratio benchmarks are compared on (e.g. events/sec)")
-	minRatio := flag.Float64("min-ratio", 0.85, "gate mode: minimum tolerated NUM/DEN value of -ratio-metric")
+	minRatio := flag.Float64("min-ratio", 0.85, "gate mode: minimum tolerated NUM/DEN value of -ratio-metric for specs without their own :MIN")
+	var floors []string
+	flag.Func("floor", "gate mode: per-benchmark metric floor NAME:METRIC:MIN evaluated on the fresh report (repeatable)", func(s string) error {
+		if s == "" {
+			return fmt.Errorf("empty -floor spec")
+		}
+		floors = append(floors, s)
+		return nil
+	})
 	flag.Parse()
 	if *gate != "" || *baseline != "" {
 		if *gate == "" || *baseline == "" {
@@ -82,18 +110,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		if *ratio != "" {
+		if len(ratios) > 0 || len(floors) > 0 {
 			fresh, err := readReport(*gate)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(2)
 			}
-			rok, err := checkRatio(os.Stdout, fresh, *ratio, *ratioMetric, *minRatio)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				os.Exit(2)
+			for _, spec := range ratios {
+				rok, err := checkRatio(os.Stdout, fresh, spec, *ratioMetric, *minRatio)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchjson:", err)
+					os.Exit(2)
+				}
+				pass = pass && rok
 			}
-			pass = pass && rok
+			for _, spec := range floors {
+				fok, err := checkFloor(os.Stdout, fresh, spec)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchjson:", err)
+					os.Exit(2)
+				}
+				pass = pass && fok
+			}
 		}
 		if !pass {
 			os.Exit(1)
@@ -211,17 +249,25 @@ func compareReports(w io.Writer, fresh, base *Report, maxRegress, allocFactor fl
 }
 
 // checkRatio enforces a cross-benchmark ratio within one report:
-// metric(num) / metric(den) must be at least minRatio. Both sides come
-// from the same run on the same hardware, so the check is
-// hardware-independent — it bounds relative overhead (a wrapped or
-// instrumented path against its bare counterpart), which is exactly the
-// property an absolute baseline cannot gate. A missing benchmark or
-// metric fails hard: a dropped measurement must not pass as "no
-// overhead".
+// metric(num) / metric(den) must be at least minRatio, or the spec's own
+// :MIN suffix when present. Both sides come from the same run on the
+// same hardware, so the check is hardware-independent — it bounds
+// relative overhead (a wrapped or instrumented path against its bare
+// counterpart), which is exactly the property an absolute baseline
+// cannot gate. A missing benchmark or metric fails hard: a dropped
+// measurement must not pass as "no overhead".
 func checkRatio(w io.Writer, fresh *Report, spec, metric string, minRatio float64) (bool, error) {
-	numName, denName, found := strings.Cut(spec, "/")
+	names := spec
+	if pair, min, found := strings.Cut(spec, ":"); found {
+		v, err := strconv.ParseFloat(min, 64)
+		if err != nil || v <= 0 {
+			return false, fmt.Errorf("-ratio %q: bad :MIN suffix %q", spec, min)
+		}
+		names, minRatio = pair, v
+	}
+	numName, denName, found := strings.Cut(names, "/")
 	if !found || numName == "" || denName == "" {
-		return false, fmt.Errorf("-ratio %q: want NUMERATOR/DENOMINATOR benchmark names", spec)
+		return false, fmt.Errorf("-ratio %q: want NUMERATOR/DENOMINATOR[:MIN] benchmark names", spec)
 	}
 	if metric == "" {
 		return false, fmt.Errorf("-ratio needs -ratio-metric")
@@ -254,6 +300,41 @@ func checkRatio(w io.Writer, fresh *Report, spec, metric string, minRatio float6
 	fmt.Fprintf(w, "benchjson: ratio %s on %s: %.0f / %.0f = %.3f (min %.2f)  %s\n",
 		spec, metric, num, den, r, minRatio, verdict)
 	return ok, nil
+}
+
+// checkFloor enforces a per-benchmark metric floor, spec NAME:METRIC:MIN
+// (colon-separated because metric units like events/sec contain a
+// slash). It gates benchmarks that measure a ratio internally — e.g. a
+// paired overhead measurement whose both sides share one measurement
+// window, immune to the machine drift a cross-benchmark -ratio is
+// exposed to. A missing benchmark or metric fails hard, like -ratio.
+func checkFloor(w io.Writer, fresh *Report, spec string) (bool, error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return false, fmt.Errorf("-floor %q: want NAME:METRIC:MIN", spec)
+	}
+	name, metric := parts[0], parts[1]
+	min, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || min <= 0 {
+		return false, fmt.Errorf("-floor %q: bad MIN %q", spec, parts[2])
+	}
+	for _, b := range fresh.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		v, present := b.Metrics[metric]
+		if !present {
+			return false, fmt.Errorf("benchmark %s has no %q metric", name, metric)
+		}
+		ok := v >= min
+		verdict := "ok"
+		if !ok {
+			verdict = fmt.Sprintf("FAIL (< %g)", min)
+		}
+		fmt.Fprintf(w, "benchjson: floor %s: %s = %.3f (min %g)  %s\n", name, metric, v, min, verdict)
+		return ok, nil
+	}
+	return false, fmt.Errorf("benchmark %s missing from fresh report", name)
 }
 
 // parse scans `go test -bench` output for benchmark result lines.

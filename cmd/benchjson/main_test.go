@@ -144,11 +144,51 @@ func TestCheckRatio(t *testing.T) {
 		{"missing-metric", "NoMetric/OnlineThroughput", "events/sec", 0.85, false, true},
 		{"bad-spec", "JournalAppend", "events/sec", 0.85, false, true},
 		{"no-metric-flag", "JournalAppend/OnlineThroughput", "", 0.85, false, true},
+		{"suffix-overrides-pass", "JournalAppend/OnlineThroughput:0.85", "events/sec", 0.99, true, false},
+		{"suffix-overrides-fail", "JournalAppend/OnlineThroughput:0.95", "events/sec", 0.50, false, false},
+		{"suffix-malformed", "JournalAppend/OnlineThroughput:fast", "events/sec", 0.85, false, true},
+		{"suffix-nonpositive", "JournalAppend/OnlineThroughput:0", "events/sec", 0.85, false, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var sb strings.Builder
 			ok, err := checkRatio(&sb, fresh, tc.spec, tc.metric, tc.min)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v; output:\n%s", ok, tc.ok, sb.String())
+			}
+		})
+	}
+}
+
+func TestCheckFloor(t *testing.T) {
+	fresh := &Report{Benchmarks: []Benchmark{
+		{Name: "OnlineThroughputTelemetry", Iterations: 1, NsPerOp: 100,
+			Metrics: map[string]float64{"overhead_ratio": 0.97, "events/sec": 1.5e6}},
+		{Name: "NoMetric", Iterations: 1, NsPerOp: 100},
+	}}
+	cases := []struct {
+		name    string
+		spec    string
+		ok      bool
+		wantErr bool
+	}{
+		{"above-floor", "OnlineThroughputTelemetry:overhead_ratio:0.95", true, false},
+		{"exactly-at-floor", "OnlineThroughputTelemetry:overhead_ratio:0.97", true, false},
+		{"below-floor", "OnlineThroughputTelemetry:overhead_ratio:0.99", false, false},
+		{"metric-with-slash", "OnlineThroughputTelemetry:events/sec:1000", true, false},
+		{"missing-benchmark", "Nope:overhead_ratio:0.95", false, true},
+		{"missing-metric", "NoMetric:overhead_ratio:0.95", false, true},
+		{"bad-spec", "OnlineThroughputTelemetry:overhead_ratio", false, true},
+		{"bad-min", "OnlineThroughputTelemetry:overhead_ratio:fast", false, true},
+		{"nonpositive-min", "OnlineThroughputTelemetry:overhead_ratio:0", false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			ok, err := checkFloor(&sb, fresh, tc.spec)
 			if (err != nil) != tc.wantErr {
 				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
 			}

@@ -203,6 +203,9 @@ func (sv *server) adaptiveConfig(ac *durable.AdaptConfig) adaptive.Config {
 		Seed:          ac.Seed,
 		// Runs inside adaptStep, under sv.mu.
 		Queue: sv.s.QueuedJobs,
+		// Nil until enableTelemetry; a controller started before that
+		// (recovery replay) is attached there instead.
+		Telemetry: sv.tel,
 	}
 }
 
@@ -310,6 +313,7 @@ func recoverServer(store *durable.Store, rec *durable.Recovered, init durable.In
 		if err != nil {
 			return nil, err
 		}
+		sv.recov.Segments = rec.Segments
 		sv.store = store
 		if err := store.Append(&durable.Record{Op: durable.OpInit, Init: &init}); err != nil {
 			return nil, err
@@ -340,6 +344,16 @@ func recoverServer(store *durable.Store, rec *durable.Recovered, init durable.In
 	}
 	if err := checkInit(init, recInit); err != nil {
 		return nil, err
+	}
+	sv.recov = recoveryInfo{
+		Recovered: true,
+		Replayed:  len(records),
+		Segments:  rec.Segments,
+	}
+	if rec.Snapshot != nil {
+		sv.recov.FromSnapshot = true
+		sv.recov.SnapshotSeq = rec.Snapshot.Seq
+		sv.recov.SnapshotClock = sv.s.Clock() // clock as restored, before replay
 	}
 	sv.store = store
 	for i := range records {

@@ -14,7 +14,10 @@
 //	GET  /v1/adapt     adaptive-loop status (rounds, promotions, last decision)
 //	GET  /v1/status
 //	GET  /v1/metrics
-//	GET  /healthz
+//	GET  /v1/trace     decision trace (?format=jsonl|chrome&sample=K&limit=N)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      503 once the journal has latched a failure
+//	GET  /debug/pprof/ (with -pprof)
 //
 // Mutating endpoints reply {"now":..,"started":[{"id":..,"time":..,"wait":..,
 // "backfilled":..},...]} — the jobs the request's scheduling pass started —
@@ -65,6 +68,9 @@ type daemonConfig struct {
 	dataDir   string  // "" = in-memory only
 	fsync     int     // records per fsync batch
 	ckptEvery float64 // logical seconds between checkpoints
+	telemetry bool    // counters, histograms, decision trace, /metrics
+	traceBuf  int     // decision-trace ring capacity in events
+	pprofFlag bool    // expose net/http/pprof under /debug/pprof/
 }
 
 func main() {
@@ -80,6 +86,9 @@ func main() {
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable state directory (empty = in-memory only; state is lost on exit)")
 	flag.IntVar(&cfg.fsync, "fsync", 1, "journal records per fsync batch (1 = every mutation durable before its response)")
 	flag.Float64Var(&cfg.ckptEvery, "checkpoint-interval", 3600, "logical seconds between snapshots (0 = only on shutdown)")
+	flag.BoolVar(&cfg.telemetry, "telemetry", true, "enable counters, histograms, the decision trace, /metrics and /v1/trace")
+	flag.IntVar(&cfg.traceBuf, "trace-buf", 4096, "decision-trace ring capacity in events")
+	flag.BoolVar(&cfg.pprofFlag, "pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
@@ -120,6 +129,12 @@ func run(cfg daemonConfig) error {
 	if err != nil {
 		return err
 	}
+	if cfg.telemetry {
+		// After recovery replay: the counters describe this process's
+		// live traffic, while /v1/status carries the recovery provenance.
+		srv.enableTelemetry(cfg.traceBuf)
+	}
+	srv.pprofOn = cfg.pprofFlag
 
 	l, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"github.com/hpcsched/gensched/internal/adaptive"
 	"github.com/hpcsched/gensched/internal/durable"
 	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/telemetry"
 	"github.com/hpcsched/gensched/internal/workload"
 )
 
@@ -52,6 +53,16 @@ type server struct {
 	ckptEvery  float64 // logical seconds between checkpoints (0 = off)
 	lastCkpt   float64
 
+	// Telemetry (see telemetry.go). tel instruments the scheduler stack
+	// on the logical clock; edge holds the wall-clock per-endpoint
+	// latency histograms fed only at the HTTP boundary; recov is the
+	// recovery provenance /v1/status reports. tel and edge are set once
+	// by enableTelemetry before the daemon serves, never swapped after.
+	tel     *telemetry.Sink
+	edge    *telemetry.Edge
+	recov   recoveryInfo
+	pprofOn bool
+
 	bufs sync.Pool // *[]byte response buffers
 }
 
@@ -91,20 +102,34 @@ func errStatus(err error) int {
 
 func (sv *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/submit", sv.post(sv.submit))
-	mux.HandleFunc("/v1/complete", sv.post(sv.complete))
-	mux.HandleFunc("/v1/advance", sv.post(sv.advance))
-	mux.HandleFunc("/v1/policy", sv.post(sv.policy))
-	mux.HandleFunc("/v1/adapt", sv.adapt)
-	mux.HandleFunc("/v1/status", sv.get(sv.status))
-	mux.HandleFunc("/v1/metrics", sv.get(sv.metrics))
+	mux.HandleFunc("/v1/submit", sv.timed("submit", sv.post(sv.submit)))
+	mux.HandleFunc("/v1/complete", sv.timed("complete", sv.post(sv.complete)))
+	mux.HandleFunc("/v1/advance", sv.timed("advance", sv.post(sv.advance)))
+	mux.HandleFunc("/v1/policy", sv.timed("policy", sv.post(sv.policy)))
+	mux.HandleFunc("/v1/adapt", sv.timed("adapt", sv.adapt))
+	mux.HandleFunc("/v1/status", sv.timed("status", sv.get(sv.status)))
+	mux.HandleFunc("/v1/metrics", sv.timed("metrics", sv.get(sv.metrics)))
+	mux.HandleFunc("/v1/trace", sv.trace)
+	mux.HandleFunc("/metrics", sv.promMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			writeErr(w, http.StatusMethodNotAllowed, "GET or HEAD only")
 			return
 		}
+		// A daemon whose journal has failed is alive but must not take
+		// traffic: its memory is ahead of disk and every further mutation
+		// is refused with a 500. Report non-200 so a load balancer drains
+		// it instead of routing submits into guaranteed failures.
+		sv.mu.Lock()
+		err := sv.storeErr
+		sv.mu.Unlock()
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "durable store failed: "+err.Error())
+			return
+		}
 		_, _ = w.Write([]byte("ok\n")) // a probe that hung up is its own problem
 	})
+	sv.registerPprof(mux)
 	return mux
 }
 
@@ -255,25 +280,59 @@ func (sv *server) policy(w http.ResponseWriter, req *request) error {
 // they go through encoding/json on tagged structs — no hand-maintained
 // field lists to drift from online.Status/Metrics.
 
+// durableStatus is the recovery-provenance block /v1/status reports for
+// a journaled daemon: where the journal stands now, and how the current
+// process came back (snapshot vs replay) — previously invisible after a
+// crash-restart.
+type durableStatus struct {
+	JournalSeq          uint64  `json:"journal_seq"`
+	LastCheckpointClock float64 `json:"last_checkpoint_clock"`
+	Recovered           bool    `json:"recovered"`
+	FromSnapshot        bool    `json:"from_snapshot,omitempty"`
+	SnapshotSeq         uint64  `json:"snapshot_seq,omitempty"`
+	SnapshotClock       float64 `json:"snapshot_clock,omitempty"`
+	ReplayedRecords     int     `json:"replayed_records,omitempty"`
+	SegmentsScanned     int     `json:"segments_scanned,omitempty"`
+	StoreError          string  `json:"store_error,omitempty"`
+}
+
 func (sv *server) status(w http.ResponseWriter) {
 	sv.mu.Lock()
 	st := sv.s.Status()
 	err := sv.s.Err()
+	var dur *durableStatus
+	if sv.store != nil {
+		dur = &durableStatus{
+			JournalSeq:          sv.store.Seq(),
+			LastCheckpointClock: sv.lastCkpt,
+			Recovered:           sv.recov.Recovered,
+			FromSnapshot:        sv.recov.FromSnapshot,
+			SnapshotSeq:         sv.recov.SnapshotSeq,
+			SnapshotClock:       sv.recov.SnapshotClock,
+			ReplayedRecords:     sv.recov.Replayed,
+			SegmentsScanned:     sv.recov.Segments,
+		}
+		if sv.storeErr != nil {
+			dur.StoreError = sv.storeErr.Error()
+		}
+	}
 	sv.mu.Unlock()
 	resp := struct {
-		Now                float64 `json:"now"`
-		Cores              int     `json:"cores"`
-		FreeCores          int     `json:"free_cores"`
-		Queued             int     `json:"queued"`
-		Running            int     `json:"running"`
-		Submitted          int     `json:"submitted"`
-		Completed          int     `json:"completed"`
-		Policy             string  `json:"policy"`
-		InvariantViolation string  `json:"invariant_violation,omitempty"`
+		Now                float64        `json:"now"`
+		Cores              int            `json:"cores"`
+		FreeCores          int            `json:"free_cores"`
+		Queued             int            `json:"queued"`
+		Running            int            `json:"running"`
+		Submitted          int            `json:"submitted"`
+		Completed          int            `json:"completed"`
+		Policy             string         `json:"policy"`
+		InvariantViolation string         `json:"invariant_violation,omitempty"`
+		Durable            *durableStatus `json:"durable,omitempty"`
 	}{
 		Now: st.Now, Cores: st.Cores, FreeCores: st.FreeCores,
 		Queued: st.Queued, Running: st.Running,
 		Submitted: st.Submitted, Completed: st.Completed, Policy: st.Policy,
+		Durable: dur,
 	}
 	if err != nil {
 		resp.InvariantViolation = err.Error()

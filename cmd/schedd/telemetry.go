@@ -1,0 +1,179 @@
+// Telemetry surface: the Prometheus text-exposition /metrics endpoint,
+// the /v1/trace decision-trace export, the per-endpoint wall-clock
+// latency histograms, and optional net/http/pprof.
+//
+// The determinism split lives here: everything below the HTTP boundary
+// (the Sink the scheduler stack writes) runs on the logical clock, and
+// the only wall-clock reads are in the timed() wrapper — measured at
+// the daemon edge, fed into an Edge the genschedvet detlint rule bans
+// from deterministic zones. A fixed-seed workload therefore produces a
+// byte-identical /v1/trace stream no matter how it was timed.
+
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/hpcsched/gensched/internal/telemetry"
+)
+
+// recoveryInfo is how the current process came back from the data
+// directory; captured at boot, reported by /v1/status.
+type recoveryInfo struct {
+	Recovered     bool    // state was rebuilt from disk (not a fresh directory)
+	FromSnapshot  bool    // a checkpoint snapshot was the recovery base
+	SnapshotSeq   uint64  // journal sequence the snapshot covered
+	SnapshotClock float64 // logical clock restored from the snapshot
+	Replayed      int     // journal records replayed on top
+	Segments      int     // journal segments scanned
+}
+
+// edgeEndpoints is the fixed per-endpoint latency label set. /metrics,
+// /v1/trace and /healthz stay untimed: scrapes and probes measuring
+// themselves add noise, not signal.
+var edgeEndpoints = []string{
+	"submit", "complete", "advance", "policy", "adapt", "status", "metrics",
+}
+
+// enableTelemetry builds the sink and attaches it across the stack:
+// scheduler, journal, and the adaptive controller if one was started
+// (or recovered) before telemetry came up. Called once at boot, before
+// the daemon serves; recovery replay runs before it, uninstrumented, so
+// counters always describe this process's live traffic.
+func (sv *server) enableTelemetry(traceCap int) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.tel = telemetry.NewSink(traceCap)
+	sv.s.SetTelemetry(sv.tel)
+	if sv.store != nil {
+		sv.store.SetTelemetry(sv.tel)
+	}
+	if sv.ad != nil {
+		sv.ad.SetTelemetry(sv.tel)
+	}
+	sv.edge = telemetry.NewEdge(edgeEndpoints...)
+}
+
+// timed wraps a handler with edge latency measurement. This is the one
+// place the daemon reads a wall clock for telemetry; with telemetry
+// disabled (edge nil) the wrapper is a plain call.
+func (sv *server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if sv.edge == nil {
+			h(w, r)
+			return
+		}
+		t0 := time.Now()
+		h(w, r)
+		sv.edge.Observe(name, time.Since(t0).Seconds())
+	}
+}
+
+// promMetrics serves GET /metrics in the Prometheus text exposition
+// format. The sink is plain single-writer state owned by the scheduler
+// thread, so the gauges AND the sink render under the server mutex —
+// a bounded in-memory copy, microseconds, which is the price of
+// keeping the scheduler's own hooks atomic-free. The edge histograms
+// are internally locked and render after the mutex is released.
+func (sv *server) promMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if sv.tel == nil {
+		writeErr(w, http.StatusNotFound, "telemetry is disabled (-telemetry=false)")
+		return
+	}
+	var ew telemetry.ExpositionWriter
+	sv.mu.Lock()
+	st := sv.s.Status()
+	ew.Gauge("gensched_clock_seconds", "Scheduler logical clock.", st.Now)
+	ew.Gauge("gensched_cores", "Machine size in cores.", float64(st.Cores))
+	ew.Gauge("gensched_free_cores", "Cores currently idle.", float64(st.FreeCores))
+	ew.Gauge("gensched_queued_jobs", "Jobs currently waiting.", float64(st.Queued))
+	ew.Gauge("gensched_running_jobs", "Jobs currently running.", float64(st.Running))
+	if sv.store != nil {
+		broken := 0.0
+		if sv.storeErr != nil {
+			broken = 1
+		}
+		ew.Gauge("gensched_journal_seq", "Sequence the next journal append gets.", float64(sv.store.Seq()))
+		ew.Gauge("gensched_last_checkpoint_clock_seconds", "Logical clock at the last checkpoint.", sv.lastCkpt)
+		ew.Gauge("gensched_store_failed", "1 when the journal has latched a write/sync failure.", broken)
+	}
+	telemetry.WriteSink(&ew, sv.tel)
+	sv.mu.Unlock()
+	sv.edge.WriteExposition(&ew)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = ew.WriteTo(w) // a scraper that hung up mid-body is its own problem
+}
+
+// trace serves GET /v1/trace: the decision-trace ring as JSONL (default)
+// or Chrome trace-event JSON (?format=chrome), with ?sample=K keeping
+// every K-th event by sequence and ?limit=N capping to the most recent
+// N after sampling.
+func (sv *server) trace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if sv.tel == nil || sv.tel.Trace == nil {
+		writeErr(w, http.StatusNotFound, "telemetry is disabled (-telemetry=false)")
+		return
+	}
+	q := r.URL.Query()
+	sample, limit := 1, 0
+	if s := q.Get("sample"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, "sample must be a positive integer")
+			return
+		}
+		sample = v
+	}
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = v
+	}
+	format := q.Get("format")
+	if format != "" && format != "jsonl" && format != "chrome" {
+		writeErr(w, http.StatusBadRequest, "format must be jsonl or chrome")
+		return
+	}
+	// Copy the ring under the server mutex (the tracer is single-writer
+	// scheduler state), then render to the client after releasing it so
+	// a slow reader never stalls scheduling.
+	sv.mu.Lock()
+	events := sv.tel.Trace.Events(sample, limit)
+	sv.mu.Unlock()
+	if format == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = telemetry.WriteEventsChrome(w, events) // client went away mid-stream; nothing actionable
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = telemetry.WriteEventsJSONL(w, events) // client went away mid-stream; nothing actionable
+}
+
+// registerPprof exposes net/http/pprof under /debug/pprof/ when the
+// daemon was started with -pprof. Explicit registration (not the
+// package's init side effect on DefaultServeMux) so the profiler is
+// opt-in on the daemon's own mux.
+func (sv *server) registerPprof(mux *http.ServeMux) {
+	if !sv.pprofOn {
+		return
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -43,6 +43,7 @@ import (
 	"github.com/hpcsched/gensched/internal/mlfit"
 	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/telemetry"
 	"github.com/hpcsched/gensched/internal/trainer"
 	"github.com/hpcsched/gensched/internal/workload"
 )
@@ -117,6 +118,13 @@ type Config struct {
 	// arrivals. The callback runs inside Tick, under whatever lock the
 	// caller serializes the scheduler with.
 	Queue func() []workload.Job
+
+	// Telemetry, when non-nil, observes every round verdict (drift nats,
+	// skip reason, promotions). The sink is only ever written from Tick —
+	// the worker pools inside a round emit nothing — so the recorded
+	// stream is identical for any Workers value. Nil disables
+	// instrumentation at the cost of one nil check per round.
+	Telemetry *telemetry.Sink
 }
 
 // Errors returned by the Controller.
@@ -250,6 +258,11 @@ func New(cfg Config) (*Controller, error) {
 	}, nil
 }
 
+// SetTelemetry attaches (or, with nil, detaches) a telemetry sink; see
+// Config.Telemetry. A daemon that enables telemetry after recovery
+// replay uses this to instrument a controller rebuilt from the journal.
+func (c *Controller) SetTelemetry(t *telemetry.Sink) { c.cfg.Telemetry = t }
+
 // Observe records one observed job arrival into the sliding window. In
 // this reproduction the job carries its runtime, so observation at
 // arrival is exact; a production deployment would observe at completion
@@ -284,6 +297,15 @@ func (c *Controller) Tick(now float64, incumbent sched.Policy) (*Decision, error
 	if err != nil {
 		return nil, err
 	}
+	drift := d.Drift
+	if drift == 0 {
+		// Early skips ("window too small", "cooling down") never compute
+		// a drift; keep the zero out of the drift histogram. A computed
+		// drift of exactly 0 nats is indistinguishable and equally
+		// uninformative.
+		drift = math.NaN()
+	}
+	c.cfg.Telemetry.AdaptRound(now, d.Round, d.Reason, drift, d.Promoted)
 	c.history = append(c.history, *d)
 	if len(c.history) > maxHistory {
 		c.history = append(c.history[:0], c.history[len(c.history)-maxHistory:]...)

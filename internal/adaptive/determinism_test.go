@@ -7,6 +7,7 @@ import (
 	"github.com/hpcsched/gensched/internal/online"
 	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/telemetry"
 	"github.com/hpcsched/gensched/internal/workload"
 )
 
@@ -24,8 +25,10 @@ type loopTrace struct {
 // observation window, completions come back as the scheduler starts jobs,
 // adaptation rounds fire as the clock crosses each interval, and
 // promotions hot-swap the scheduler's policy mid-stream — which in turn
-// changes the schedule the next rounds observe.
-func driveLoop(t *testing.T, jobs []workload.Job, incumbent sched.Policy, cfg Config) loopTrace {
+// changes the schedule the next rounds observe. A non-nil sink
+// instruments both the scheduler and the controller, feeding the golden
+// trace differential.
+func driveLoop(t *testing.T, jobs []workload.Job, incumbent sched.Policy, cfg Config, sink *telemetry.Sink) loopTrace {
 	t.Helper()
 	s, err := online.New(cfg.Cores, online.Options{
 		Policy:   incumbent,
@@ -35,6 +38,8 @@ func driveLoop(t *testing.T, jobs []workload.Job, incumbent sched.Policy, cfg Co
 	if err != nil {
 		t.Fatal(err)
 	}
+	s.SetTelemetry(sink)
+	cfg.Telemetry = sink
 	cfg.Queue = s.QueuedJobs // the digital twin replays the live backlog
 	ctrl, err := New(cfg)
 	if err != nil {
@@ -131,8 +136,8 @@ func TestLoopDeterministicAcrossWorkers(t *testing.T) {
 		cfg.Workers = workers
 		return cfg
 	}
-	a := driveLoop(t, jobs, stale(t), mkCfg(1))
-	b := driveLoop(t, jobs, stale(t), mkCfg(8))
+	a := driveLoop(t, jobs, stale(t), mkCfg(1), nil)
+	b := driveLoop(t, jobs, stale(t), mkCfg(8), nil)
 
 	if len(a.decisions) == 0 {
 		t.Fatal("the loop never ran an adaptation round")

@@ -25,6 +25,7 @@ var fixtureCases = []struct {
 }{
 	{"detlint", DetLint, "internal/fixture"},
 	{"detlint_blessed", DetLint, "internal/runner"},
+	{"detlint_edge", DetLint, "internal/fixture"},
 	{"maporder", MapOrder, "internal/fixture"},
 	{"errlint", ErrLint, "cmd/fixture"},
 	{"seedlint", SeedLint, "internal/fixture"},
@@ -163,6 +164,7 @@ func TestZoneOf(t *testing.T) {
 		{"internal/adaptive", true, false, false},
 		{"internal/runner", true, false, true},
 		{"internal/durable", true, true, false},
+		{"internal/telemetry", true, true, false},
 		{"internal/profiling", false, false, false},
 		{"internal/analysis", false, false, false},
 		{"cmd/schedd", false, true, false},

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // wallClockFuncs are the time-package functions that read or wait on
@@ -21,6 +22,10 @@ var envFuncs = map[string]bool{
 	"Getenv": true, "LookupEnv": true, "Environ": true,
 }
 
+// telemetryPkgSuffix identifies the instrumentation layer no matter
+// what module path the repo is checked out under.
+const telemetryPkgSuffix = "internal/telemetry"
+
 // DetLint enforces the determinism boundary: in deterministic zones it
 // forbids wall-clock reads (time.Now/Since/...), any use of math/rand
 // (all randomness flows through internal/dist so streams split and
@@ -28,9 +33,16 @@ var envFuncs = map[string]bool{
 // spawns outside the blessed internal/runner pool (ad-hoc goroutines
 // make results depend on scheduling order; the pool's index-addressed
 // contract does not).
+// DetLint also quarantines the telemetry package's one wall-clock-fed
+// type: telemetry.Edge exists to hold latencies a daemon measured at
+// its HTTP boundary, so constructing or feeding one inside the
+// determinism boundary means a wall-clock quantity is flowing where
+// only logical-clock quantities belong. The rest of the telemetry API
+// (Sink, Counter, Histogram, Tracer) is logical-clock only and legal
+// everywhere.
 var DetLint = &Analyzer{
 	Name: "detlint",
-	Doc:  "forbid wall clocks, global math/rand, env-dependent logic and unblessed goroutines in deterministic zones",
+	Doc:  "forbid wall clocks, global math/rand, env-dependent logic, unblessed goroutines and the wall-clock telemetry Edge API in deterministic zones",
 	Run:  runDetLint,
 }
 
@@ -63,6 +75,14 @@ func runDetLint(pass *Pass) {
 				case pkg == "os" && envFuncs[name]:
 					if !pass.Allowed(n.Pos()) {
 						pass.Reportf(n.Pos(), "os.%s in deterministic zone %q: behavior must be a function of explicit configuration and the seed, not the process environment", name, zoneLabel(pass.RelPath))
+					}
+				case strings.HasSuffix(pkg, telemetryPkgSuffix) && name == "NewEdge":
+					if !pass.Allowed(n.Pos()) {
+						pass.Reportf(n.Pos(), "telemetry.NewEdge in deterministic zone %q: Edge holds wall-clock latencies measured at the daemon's HTTP boundary and is banned inside the determinism boundary; use the logical-clock Sink API instead", zoneLabel(pass.RelPath))
+					}
+				default:
+					if name, recv, _ := methodInfo(pass.Info, n); recv == "telemetry.Edge" && !pass.Allowed(n.Pos()) {
+						pass.Reportf(n.Pos(), "(telemetry.Edge).%s in deterministic zone %q: Edge carries wall-clock latencies and is banned inside the determinism boundary; use the logical-clock Sink API instead", name, zoneLabel(pass.RelPath))
 					}
 				}
 			}

@@ -83,5 +83,16 @@ func ZoneOf(rel string) Zone {
 	if rel == "internal/durable" {
 		z |= ZoneCmd
 	}
+	// internal/telemetry is the instrumentation layer. It stays inside
+	// the determinism boundary — every event rides the logical clock, so
+	// no wall clocks, no goroutines, no map-order leaks into exports —
+	// and is additionally errlint-checked like a cmd/ package: its
+	// JSONL/Chrome-trace/exposition writers produce artifacts operators
+	// trust, and a dropped Write error would silently truncate them.
+	// (Its one wall-clock-adjacent type, Edge, is handled by a dedicated
+	// detlint rule banning the Edge API from deterministic zones.)
+	if rel == "internal/telemetry" {
+		z |= ZoneCmd
+	}
 	return z
 }

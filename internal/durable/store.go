@@ -13,6 +13,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"github.com/hpcsched/gensched/internal/telemetry"
 )
 
 // Options tunes a Store.
@@ -27,10 +29,12 @@ type Options struct {
 // Recovered is what Open found on disk: the latest snapshot (nil for a
 // fresh or never-checkpointed directory) and the journal records at or
 // after its sequence, in order. Replaying Records on top of the snapshot
-// reproduces the pre-crash state.
+// reproduces the pre-crash state. Segments counts the journal segments
+// scanned — recovery provenance the daemon reports in /v1/status.
 type Recovered struct {
 	Snapshot *Snapshot
 	Records  []Record
+	Segments int
 }
 
 // Store is an open journal. Methods are not safe for concurrent use; the
@@ -49,6 +53,13 @@ type Store struct {
 	// mutation fails with the original cause, because the on-disk suffix
 	// is in an unknown state and appending past it could corrupt history.
 	broken error
+
+	// tel, when non-nil, observes appends, fsync batches and
+	// checkpoints. Events ride the logical clock of the records
+	// themselves (lastNow), never a wall clock — the store stays inside
+	// the determinism boundary.
+	tel     *telemetry.Sink
+	lastNow float64
 }
 
 const snapshotName = "snapshot"
@@ -136,6 +147,7 @@ func Open(dir string, opt Options) (*Store, *Recovered, error) {
 			return nil, nil, fmt.Errorf("durable: snapshot at record %d but journal ends at %d", startSeq, end)
 		}
 	}
+	rec.Segments = len(segs)
 	for _, s := range segs {
 		for i, r := range s.records {
 			if s.base+uint64(i) >= startSeq {
@@ -217,6 +229,10 @@ func (s *Store) newSegment(base uint64) error {
 // Seq is the sequence number the next Append will get.
 func (s *Store) Seq() uint64 { return s.seq }
 
+// SetTelemetry attaches (or, with nil, detaches) a telemetry sink
+// observing the append/sync/checkpoint path.
+func (s *Store) SetTelemetry(t *telemetry.Sink) { s.tel = t }
+
 // Append journals one record. The record is durable when Append returns
 // only if this append completed a SyncEvery batch; call Sync to force a
 // partial batch down.
@@ -240,6 +256,10 @@ func (s *Store) Append(r *Record) error {
 		s.broken = err
 		return err
 	}
+	if r.Now > s.lastNow {
+		s.lastNow = r.Now
+	}
+	s.tel.WALAppend(s.lastNow, s.seq, len(buf))
 	s.seq++
 	s.unsynced++
 	if s.unsynced >= s.syncEvery {
@@ -263,6 +283,7 @@ func (s *Store) Sync() error {
 		s.broken = err
 		return err
 	}
+	s.tel.WALSync(s.lastNow, s.unsynced)
 	s.unsynced = 0
 	return nil
 }
@@ -278,9 +299,10 @@ func (s *Store) Checkpoint(snap *Snapshot) error {
 	if err := s.Sync(); err != nil {
 		return err
 	}
-	content := make([]byte, 0, 1024)
+	enc := EncodeSnapshot(snap)
+	content := make([]byte, 0, len(enc)+len(snapMagic)+frameHeader)
 	content = append(content, snapMagic...)
-	content = appendFrame(content, EncodeSnapshot(snap))
+	content = appendFrame(content, enc)
 	if err := createFileAtomic(s.dir, snapshotName, content); err != nil {
 		s.broken = err
 		return err
@@ -311,7 +333,11 @@ func (s *Store) Checkpoint(snap *Snapshot) error {
 			return err
 		}
 	}
-	return syncDir(s.dir)
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.tel.WALCheckpoint(s.lastNow, snap.Seq, len(enc))
+	return nil
 }
 
 // Close flushes, fsyncs and closes the active segment. A store that

@@ -40,6 +40,7 @@ import (
 	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/schedcore"
 	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/telemetry"
 	"github.com/hpcsched/gensched/internal/workload"
 )
 
@@ -123,6 +124,13 @@ type Scheduler struct {
 	dirty  bool        // events recorded at the current instant, pass pending
 	starts []Start     // scratch for Flush results
 
+	// tel, when non-nil, observes submits, starts, completions, passes
+	// and policy swaps. Every Sink method is nil-receiver safe, so the
+	// hooks below call unconditionally: disabled telemetry costs one nil
+	// check per event and changes no output bit (pinned by the
+	// differential suites).
+	tel *telemetry.Sink
+
 	// Aggregates, maintained incrementally.
 	submitted   int
 	completed   int
@@ -171,18 +179,34 @@ func (s *Scheduler) engineConfig() schedcore.Config {
 		Check:               s.opt.Check,
 		ExternalCompletions: true,
 		OnStart:             s.onStart,
+		OnPass:              s.onPass,
 	}
+}
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry sink.
+// Attaching telemetry never alters a scheduling decision: the sink only
+// observes.
+func (s *Scheduler) SetTelemetry(t *telemetry.Sink) { s.tel = t }
+
+// Telemetry returns the attached sink, nil when disabled.
+func (s *Scheduler) Telemetry() *telemetry.Sink { return s.tel }
+
+// onPass observes every scheduling pass (for queue-depth sampling).
+func (s *Scheduler) onPass(now float64, queued int) {
+	s.tel.Pass(now, queued)
 }
 
 // onStart observes every task the core starts during a pass.
 func (s *Scheduler) onStart(ti int) {
 	t := s.eng.Task(ti)
+	wait := t.Start - t.Job.Submit
 	s.starts = append(s.starts, Start{
 		ID:         t.Job.ID,
 		Time:       t.Start,
-		Wait:       t.Start - t.Job.Submit,
+		Wait:       wait,
 		Backfilled: t.Backfill,
 	})
+	s.tel.JobStarted(t.Start, t.Job.ID, wait, t.Backfill)
 }
 
 // Clock returns the scheduler's current time.
@@ -215,6 +239,7 @@ func (s *Scheduler) Submit(j workload.Job) error {
 		s.firstSubmit = j.Submit
 	}
 	s.dirty = true
+	s.tel.JobSubmitted(j.Submit, j.ID)
 	return nil
 }
 
@@ -250,6 +275,7 @@ func (s *Scheduler) Complete(id int) error {
 	delete(s.byID, id)
 	s.eng.Release(ti)
 	s.dirty = true
+	s.tel.JobCompleted(t.Finish, id, wait, b)
 	return nil
 }
 
@@ -341,6 +367,7 @@ func (s *Scheduler) SetPolicy(p sched.Policy) error {
 	s.policy = p
 	s.opt.Policy = p
 	s.eng.SetPolicy(p)
+	s.tel.PolicySwapped(s.eng.Now(), p.Name())
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/hpcsched/gensched/internal/schedcore"
 	"github.com/hpcsched/gensched/internal/sim"
 	"github.com/hpcsched/gensched/internal/simref"
+	"github.com/hpcsched/gensched/internal/telemetry"
 	"github.com/hpcsched/gensched/internal/workload"
 )
 
@@ -32,6 +33,11 @@ type ReplayOptions struct {
 	Check          bool
 	// Swaps applies policy hot-swaps at the given times, in order.
 	Swaps []Swap
+	// Telemetry, when non-nil, is attached to the replay scheduler: the
+	// replay fills the sink's counters, histograms and decision trace
+	// exactly as a live daemon serving the same stream would. The
+	// schedule itself is unaffected.
+	Telemetry *telemetry.Sink
 }
 
 // Replay event kinds: policy swaps apply first at an instant (a swap at
@@ -76,6 +82,7 @@ func Replay(cores int, jobs []workload.Job, opt ReplayOptions) (*sim.Result, err
 	if err != nil {
 		return nil, err
 	}
+	s.SetTelemetry(opt.Telemetry)
 
 	// The stream: arrivals are known up front; completions are pushed as
 	// the scheduler starts jobs; swaps ride along as their own events.

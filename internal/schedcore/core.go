@@ -104,6 +104,10 @@ type Config struct {
 	// immediately after the start is applied. Incremental drivers use it
 	// to observe starts without any per-pass allocation.
 	OnStart func(ti int)
+	// OnPass, when set, is invoked once per scheduling pass with the
+	// logical clock and the post-pass queue length. Telemetry samples
+	// queue depth through it without the engine importing anything.
+	OnPass func(now float64, queued int)
 }
 
 // TimelinePoint is one sample of the cluster state.
@@ -497,6 +501,9 @@ func (e *Engine) Pass() {
 			QueueLen: len(e.queue),
 			CoresUse: e.cores - e.free,
 		})
+	}
+	if e.cfg.OnPass != nil {
+		e.cfg.OnPass(e.now, len(e.queue))
 	}
 }
 
