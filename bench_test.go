@@ -22,6 +22,7 @@ import (
 	"github.com/hpcsched/gensched/internal/durable"
 	"github.com/hpcsched/gensched/internal/experiments"
 	"github.com/hpcsched/gensched/internal/expr"
+	"github.com/hpcsched/gensched/internal/fed"
 	"github.com/hpcsched/gensched/internal/lublin"
 	"github.com/hpcsched/gensched/internal/mlfit"
 	"github.com/hpcsched/gensched/internal/online"
@@ -688,6 +689,72 @@ func BenchmarkOnlineThroughputTelemetry(b *testing.B) {
 	}
 	if len(ratios) > 0 {
 		b.ReportMetric(median(ratios), "overhead_ratio")
+	}
+}
+
+// BenchmarkFederationThroughput drains the same Lublin trace through a
+// federated replay at 1 shard and at 8 shards with a PAIRED design:
+// every iteration runs both widths back to back, alternating which runs
+// first. events/sec reports the 8-shard aggregate from its fastest pass
+// (the tentpole throughput number); scaling_x is the MEDIAN of the
+// per-pair 8-shard/1-shard events-per-second ratios, the number the CI
+// scaling gate floors. Pairing keeps both widths of each ratio adjacent
+// in time so machine-state drift cancels within the pair, and the
+// median shrugs off iterations where a GC pause landed on one side —
+// the same design BenchmarkOnlineThroughputTelemetry uses for its
+// overhead_ratio. The jobs-per-shard load is held constant (each width
+// schedules shards × perShard jobs on shards × 256 cores), so the ratio
+// measures how the merged-drain pipeline scales, not a shrinking queue.
+// Like the other ratio benchmarks this deliberately stays out of
+// BENCH_baseline.json: scaling_x is gated by -floor with a
+// CPU-count-aware minimum (near-linear to 8 shards needs 8 cores; this
+// container may have 1), and absolute events/sec is hardware-bound.
+func BenchmarkFederationThroughput(b *testing.B) {
+	const perShard = 2500
+	traces := map[int][]workload.Job{1: microJobs(perShard), 8: microJobs(perShard * 8)}
+	run := func(shards int) (sec float64) {
+		jobs := traces[shards]
+		t0 := time.Now()
+		res, err := fed.Replay(jobs, fed.ReplayConfig{
+			Shards: shards, ShardCores: 256, Seed: 1,
+			Opt: online.ReplayOptions{
+				Policy: sched.F1(), Backfill: sim.BackfillEASY, UseEstimates: true,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = time.Since(t0).Seconds()
+		if res.Merged.Completed != perShard*shards {
+			b.Fatalf("%d shards completed %d jobs, want %d", shards, res.Merged.Completed, perShard*shards)
+		}
+		return sec
+	}
+	best8 := math.Inf(1)
+	ratios := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var d1, d8 float64
+		if i%2 == 0 {
+			d8, d1 = run(8), run(1)
+		} else {
+			d1, d8 = run(1), run(8)
+		}
+		if d8 < best8 {
+			best8 = d8
+		}
+		if d1 > 0 && d8 > 0 {
+			// events/sec ratio: (8·E/d8) / (E/d1) = 8·d1/d8.
+			ratios = append(ratios, 8*d1/d8)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(2*perShard*8), "events/op")
+	if best8 > 0 {
+		b.ReportMetric(float64(2*perShard*8)/best8, "events/sec")
+	}
+	if len(ratios) > 0 {
+		b.ReportMetric(median(ratios), "scaling_x")
 	}
 }
 

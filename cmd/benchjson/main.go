@@ -179,6 +179,10 @@ func main() {
 // ns/op, or grew its allocs/op beyond allocFactor — the allocation count
 // is hardware-independent, so it catches the O(work) regression class
 // even when timings are noisy.
+//
+// A baseline that tracks nothing — empty, or only malformed entries — is
+// an error, not a pass: "gate passed (0 benchmarks)" is how a renamed
+// benchmark or a truncated baseline file silently turns the gate off.
 func runGate(w io.Writer, freshPath, basePath string, maxRegress, allocFactor float64) (ok bool, err error) {
 	fresh, err := readReport(freshPath)
 	if err != nil {
@@ -188,7 +192,7 @@ func runGate(w io.Writer, freshPath, basePath string, maxRegress, allocFactor fl
 	if err != nil {
 		return false, err
 	}
-	return compareReports(w, fresh, base, maxRegress, allocFactor), nil
+	return compareReports(w, fresh, base, maxRegress, allocFactor)
 }
 
 func readReport(path string) (*Report, error) {
@@ -205,17 +209,29 @@ func readReport(path string) (*Report, error) {
 }
 
 // compareReports prints the per-benchmark comparison and returns whether
-// every tracked benchmark stayed within the tolerances.
-func compareReports(w io.Writer, fresh, base *Report, maxRegress, allocFactor float64) bool {
+// every tracked benchmark stayed within the tolerances. The error return
+// is for a baseline the gate cannot honestly evaluate: an entry with
+// neither a positive ns/op nor custom metrics (malformed — it gates
+// nothing and floors nothing), or a baseline tracking zero benchmarks.
+func compareReports(w io.Writer, fresh, base *Report, maxRegress, allocFactor float64) (bool, error) {
 	freshBy := make(map[string]Benchmark, len(fresh.Benchmarks))
 	for _, b := range fresh.Benchmarks {
 		freshBy[b.Name] = b
 	}
 	tracked := make([]Benchmark, 0, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		if b.NsPerOp > 0 {
+		switch {
+		case b.NsPerOp > 0:
 			tracked = append(tracked, b)
+		case len(b.Metrics) > 0:
+			// Metrics-only entries (paired-ratio benchmarks) are gated by
+			// -floor/-ratio, not the ns/op comparison: legitimately untracked.
+		default:
+			return false, fmt.Errorf("baseline entry %q has neither a positive ns/op nor metrics; nothing to gate against — regenerate the baseline", b.Name)
 		}
+	}
+	if len(tracked) == 0 {
+		return false, fmt.Errorf("baseline tracks no benchmarks (no entry has a positive ns/op); refusing to pass an empty gate")
 	}
 	sort.Slice(tracked, func(i, j int) bool { return tracked[i].Name < tracked[j].Name })
 	ok := true
@@ -245,7 +261,7 @@ func compareReports(w io.Writer, fresh, base *Report, maxRegress, allocFactor fl
 	} else {
 		fmt.Fprintf(w, "benchjson: gate FAILED (tolerances: +%.0f%% ns/op, %.1fx allocs)\n", maxRegress*100, allocFactor)
 	}
-	return ok
+	return ok, nil
 }
 
 // checkRatio enforces a cross-benchmark ratio within one report:

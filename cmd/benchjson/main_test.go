@@ -77,21 +77,59 @@ func TestCompareReportsPassAndFail(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var sb strings.Builder
-			if got := compareReports(&sb, tc.fresh, base, 0.25, 2.0); got != tc.ok {
+			got, err := compareReports(&sb, tc.fresh, base, 0.25, 2.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.ok {
 				t.Fatalf("ok = %v, want %v; output:\n%s", got, tc.ok, sb.String())
 			}
 		})
 	}
 }
 
-func TestCompareReportsIgnoresZeroNsBaseline(t *testing.T) {
-	// A baseline entry without timing (e.g. a metrics-only line) must not
-	// be tracked — there is nothing to regress against.
-	base := gateReport([]string{"FitAll", "MetricsOnly"}, []float64{1000, 0})
+func TestCompareReportsIgnoresMetricsOnlyBaseline(t *testing.T) {
+	// A baseline entry without timing but WITH custom metrics (a
+	// paired-ratio benchmark gated by -floor) must not be ns/op-tracked —
+	// there is nothing to regress against — and must not fail the gate.
+	base := gateReport([]string{"FitAll"}, []float64{1000})
+	base.Benchmarks = append(base.Benchmarks, Benchmark{
+		Name: "MetricsOnly", Iterations: 1, Metrics: map[string]float64{"overhead_ratio": 0.99},
+	})
 	fresh := gateReport([]string{"FitAll"}, []float64{1100})
 	var sb strings.Builder
-	if !compareReports(&sb, fresh, base, 0.25, 2.0) {
+	ok, err := compareReports(&sb, fresh, base, 0.25, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
 		t.Fatalf("metrics-only baseline entry failed the gate:\n%s", sb.String())
+	}
+}
+
+// TestCompareReportsRefusesHollowBaselines pins the anti-silent-pass
+// contract: a gate that cannot evaluate anything must error (exit 2 in
+// main), never report "gate passed (0 benchmarks)".
+func TestCompareReportsRefusesHollowBaselines(t *testing.T) {
+	fresh := gateReport([]string{"FitAll"}, []float64{1000})
+	cases := []struct {
+		name string
+		base *Report
+	}{
+		{"empty-baseline", &Report{}},
+		{"malformed-entry", gateReport([]string{"FitAll", "NoNsNoMetrics"}, []float64{1000, 0})},
+		{"all-untracked", &Report{Benchmarks: []Benchmark{
+			{Name: "MetricsOnly", Iterations: 1, Metrics: map[string]float64{"x": 1}},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			ok, err := compareReports(&sb, fresh, tc.base, 0.25, 2.0)
+			if err == nil {
+				t.Fatalf("ok=%v with no error; a hollow baseline must be refused:\n%s", ok, sb.String())
+			}
+		})
 	}
 }
 
@@ -100,22 +138,27 @@ func TestCompareReportsAllocGate(t *testing.T) {
 		return &Report{Benchmarks: []Benchmark{{Name: "FitAll", Iterations: 1, NsPerOp: ns, AllocsPerOp: allocs}}}
 	}
 	base := withAllocs(1000, 28)
-	var sb strings.Builder
+	compare := func(fresh *Report, allocFactor float64) (bool, string) {
+		var sb strings.Builder
+		ok, err := compareReports(&sb, fresh, base, 0.25, allocFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok, sb.String()
+	}
 	// Timing identical but allocations exploded past the factor: fail —
 	// this is the hardware-independent regression signal.
-	if compareReports(&sb, withAllocs(1000, 7498), base, 0.25, 2.0) {
-		t.Fatalf("10x alloc growth passed the gate:\n%s", sb.String())
+	if ok, out := compare(withAllocs(1000, 7498), 2.0); ok {
+		t.Fatalf("10x alloc growth passed the gate:\n%s", out)
 	}
-	sb.Reset()
 	// Modest alloc growth (GOMAXPROCS scaling of per-worker scratch)
 	// stays within the loose factor.
-	if !compareReports(&sb, withAllocs(1000, 50), base, 0.25, 2.0) {
-		t.Fatalf("within-factor alloc growth failed the gate:\n%s", sb.String())
+	if ok, out := compare(withAllocs(1000, 50), 2.0); !ok {
+		t.Fatalf("within-factor alloc growth failed the gate:\n%s", out)
 	}
-	sb.Reset()
 	// Factor 0 disables the alloc gate entirely.
-	if !compareReports(&sb, withAllocs(1000, 7498), base, 0.25, 0) {
-		t.Fatalf("disabled alloc gate still failed:\n%s", sb.String())
+	if ok, out := compare(withAllocs(1000, 7498), 0); !ok {
+		t.Fatalf("disabled alloc gate still failed:\n%s", out)
 	}
 }
 

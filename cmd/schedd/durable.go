@@ -80,6 +80,13 @@ func (sv *server) apply(rec *durable.Record) ([]online.Start, error) {
 // gate, apply, journal, checkpoint cadence. With no -data-dir the
 // journal steps are no-ops and this is just apply.
 func (sv *server) applyJournal(rec *durable.Record) ([]online.Start, error) {
+	if sv.draining {
+		// The drain gate: once graceful shutdown has begun, the journal is
+		// (or is about to be) checkpointed and closed, so a late mutation
+		// must be refused rather than applied in memory only.
+		return nil, httpError(http.StatusServiceUnavailable,
+			fmt.Errorf("daemon is draining, refusing mutations"))
+	}
 	if sv.storeErr != nil {
 		return nil, httpError(http.StatusInternalServerError,
 			fmt.Errorf("journal failed earlier, refusing mutations: %w", sv.storeErr))
@@ -375,23 +382,50 @@ func recoverServer(store *durable.Store, rec *durable.Recovered, init durable.In
 	return sv, nil
 }
 
-// shutdownStore writes a final checkpoint (graceful shutdowns recover
-// instantly, with an empty journal) and closes the journal. Called after
-// the HTTP server has drained, so no handler can race it.
+// drainStore is the graceful-shutdown drain gate, invoked on
+// SIGINT/SIGTERM BEFORE the HTTP listener finishes draining. Taking
+// sv.mu waits out the final in-flight mutation (every mutation holds the
+// mutex through apply+journal); setting draining refuses later ones with
+// 503; then the journal is checkpointed, flushed and closed. Ordering is
+// the point: a drain-time fsync failure latches storeErr while /healthz
+// is still being served — probes see 503 for the rest of the grace
+// window — and the error propagates to a nonzero exit, instead of the
+// daemon reporting drained and exiting 0 with unsynced state.
+func (sv *server) drainStore() error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.draining = true
+	return sv.closeStoreLocked()
+}
+
+// shutdownStore checkpoints and closes the journal; the safety net for
+// exit paths that never ran the drain gate (listener setup errors).
+// Idempotent: after drainStore it only re-reports the latched error.
 func (sv *server) shutdownStore() error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.closeStoreLocked()
+}
+
+// closeStoreLocked writes the final checkpoint (graceful shutdowns
+// recover instantly, with an empty journal) and closes the journal,
+// once; every failure latches storeErr. Called with sv.mu held — the
+// mutex is what orders the close after the final in-flight mutation.
+func (sv *server) closeStoreLocked() error {
 	if sv.store == nil {
 		return nil
 	}
-	sv.mu.Lock()
-	if sv.storeErr == nil {
-		sv.checkpointNow()
+	if sv.storeClosed {
+		return sv.storeErr
 	}
-	err := sv.storeErr
-	sv.mu.Unlock()
-	if cerr := sv.store.Close(); err == nil && cerr != nil {
+	sv.storeClosed = true
+	if sv.storeErr == nil {
+		sv.checkpointNow() // latches storeErr on failure
+	}
+	if cerr := sv.store.Close(); sv.storeErr == nil && cerr != nil {
 		// A poisoned store reports "journal is failed" from Close; keep
 		// the earlier, more precise error when there is one.
-		err = cerr
+		sv.storeErr = cerr
 	}
-	return err
+	return sv.storeErr
 }

@@ -1,0 +1,475 @@
+// The federated daemon (-shards N, N > 1): N independent shard
+// schedulers behind the deterministic router in internal/fed, serving
+// the same HTTP/JSON API as the single engine plus merged observability
+// — /v1/status and /v1/metrics carry the aggregate AND the per-shard
+// breakdown, /metrics exposes the merged sink, and /v1/trace exports the
+// shard traces merged into the canonical (clock, shard, seq) order with
+// each JSONL line tagged by shard. Durability (-data-dir) and the
+// adaptive loop (/v1/adapt) are single-engine features and are refused.
+
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/hpcsched/gensched/internal/durable"
+	"github.com/hpcsched/gensched/internal/fed"
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/telemetry"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+// runFederated is run()'s -shards > 1 path.
+func runFederated(cfg daemonConfig, p sched.Policy, bf sim.BackfillMode, realClock bool) error {
+	if cfg.dataDir != "" {
+		return fmt.Errorf("-data-dir requires a single engine (the journal is one scheduler's record stream); drop it or run -shards 1")
+	}
+	fcfg := fed.Config{
+		Shards:     cfg.shards,
+		ShardCores: cfg.cores,
+		Opt: online.Options{
+			Policy:       p,
+			UseEstimates: cfg.estimates,
+			Backfill:     bf,
+			Tau:          cfg.tau,
+			Check:        cfg.check,
+		},
+		Seed: cfg.fedSeed,
+	}
+	if cfg.telemetry {
+		fcfg.TraceBuf = cfg.traceBuf
+	}
+	fd, err := fed.New(fcfg)
+	if err != nil {
+		return err
+	}
+	fs := newFedServer(fd, realClock)
+	if cfg.telemetry {
+		fs.edge = telemetry.NewEdge(edgeEndpoints...)
+	}
+	fs.pprofOn = cfg.pprofFlag
+
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	var bin *binServer
+	if cfg.binaryAddr != "" {
+		bl, berr := net.Listen("tcp", cfg.binaryAddr)
+		if berr != nil {
+			_ = l.Close()
+			return berr
+		}
+		bin = newBinServer(bl, fs)
+		bin.start()
+		fmt.Fprintf(os.Stderr, "schedd: binary protocol on %s\n", bl.Addr())
+	}
+	fmt.Fprintf(os.Stderr, "schedd: federating %d shards × %d cores under %s+%s on %s (clock: %s, seed %d)\n",
+		cfg.shards, cfg.cores, p.Name(), bf, l.Addr(), cfg.clock, cfg.fedSeed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = serve(ctx, l, fs.handler(), func() error {
+		if bin != nil {
+			bin.stop()
+		}
+		return nil // no durable store in federated mode
+	})
+	if bin != nil {
+		bin.stop()
+	}
+	return err
+}
+
+// fedServer wraps a fed.Federation behind the daemon's HTTP surface.
+// The federation does its own locking (router under one mutex, each
+// shard under its own), so unlike the single server there is no global
+// handler mutex — requests for different shards run concurrently.
+type fedServer struct {
+	fd        *fed.Federation
+	realClock bool
+	epoch     time.Time
+
+	edge    *telemetry.Edge
+	pprofOn bool
+
+	bufs   sync.Pool  // *[]byte response buffers
+	starts sync.Pool  // *[]online.Start scratch
+	polMu  sync.Mutex // serializes SetPolicy fan-out so swaps don't interleave
+}
+
+func newFedServer(fd *fed.Federation, realClock bool) *fedServer {
+	return &fedServer{
+		fd:        fd,
+		realClock: realClock,
+		epoch:     time.Now(),
+		bufs:      sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }},
+		starts:    sync.Pool{New: func() any { s := make([]online.Start, 0, 64); return &s }},
+	}
+}
+
+func (fs *fedServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/submit", fs.timed("submit", fs.post(fs.submit)))
+	mux.HandleFunc("/v1/complete", fs.timed("complete", fs.post(fs.complete)))
+	mux.HandleFunc("/v1/advance", fs.timed("advance", fs.post(fs.advance)))
+	mux.HandleFunc("/v1/policy", fs.timed("policy", fs.post(fs.policy)))
+	mux.HandleFunc("/v1/adapt", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotImplemented,
+			"the adaptive loop requires a single engine; run -shards 1")
+	})
+	mux.HandleFunc("/v1/status", fs.timed("status", fs.getOnly(fs.status)))
+	mux.HandleFunc("/v1/metrics", fs.timed("metrics", fs.getOnly(fs.metrics)))
+	mux.HandleFunc("/v1/trace", fs.trace)
+	mux.HandleFunc("/metrics", fs.promMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeErr(w, http.StatusMethodNotAllowed, "GET or HEAD only")
+			return
+		}
+		_, _ = w.Write([]byte("ok\n")) // a probe that hung up is its own problem
+	})
+	registerPprof(mux, fs.pprofOn)
+	return mux
+}
+
+func (fs *fedServer) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if fs.edge == nil {
+			h(w, r)
+			return
+		}
+		t0 := time.Now()
+		h(w, r)
+		fs.edge.Observe(name, time.Since(t0).Seconds())
+	}
+}
+
+// post mirrors server.post: decode the shared request body, dispatch.
+func (fs *fedServer) post(h func(http.ResponseWriter, *request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		if err := r.Context().Err(); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "request cancelled before processing")
+			return
+		}
+		var req request
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if err := h(w, &req); err != nil {
+			writeErr(w, errStatus(err), err.Error())
+		}
+	}
+}
+
+func (fs *fedServer) getOnly(h func(http.ResponseWriter)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		h(w)
+	}
+}
+
+// now resolves the effective clock for a request, mirroring server.now:
+// wall time since boot under -clock real; otherwise the request's "now"
+// (explicit 0 IS instant zero), then "submit" when positive, then the
+// federation clock (the maximum shard clock — per-shard clamping in
+// Submit/AdvanceTo keeps every shard monotonic regardless).
+func (fs *fedServer) now(req *request) float64 {
+	if fs.realClock {
+		return time.Since(fs.epoch).Seconds()
+	}
+	if req.Now != nil {
+		return *req.Now
+	}
+	if req.Submit > 0 {
+		return req.Submit
+	}
+	return fs.fd.Clock()
+}
+
+// respond renders the {"started":[...],"now":..} mutation response from
+// pooled buffers, with the landing shard when one applies (shard >= 0).
+func (fs *fedServer) respond(w http.ResponseWriter, shard int, starts []online.Start, clock float64) {
+	bp := fs.bufs.Get().(*[]byte)
+	buf := append((*bp)[:0], `{"started":[`...)
+	n := 0
+	buf = appendStarts(buf, &n, starts)
+	buf = append(buf, `],"now":`...)
+	buf = strconv.AppendFloat(buf, clock, 'g', -1, 64)
+	if shard >= 0 {
+		buf = append(buf, `,"shard":`...)
+		buf = strconv.AppendInt(buf, int64(shard), 10)
+	}
+	buf = append(buf, '}', '\n')
+	writeJSON(w, buf)
+	*bp = buf
+	fs.bufs.Put(bp)
+}
+
+func (fs *fedServer) submit(w http.ResponseWriter, req *request) error {
+	job := workload.Job{
+		ID:       req.ID,
+		Submit:   req.Submit,
+		Runtime:  req.Runtime,
+		Estimate: req.Estimate,
+		Cores:    req.Cores,
+	}
+	// One job must fit on one shard: validate against the per-shard
+	// machine size, exactly as the single engine validates against -cores.
+	if err := job.Validate(fs.fd.ShardCores()); err != nil {
+		return badRequest(err)
+	}
+	sp := fs.starts.Get().(*[]online.Start)
+	shard, starts, clock, err := fs.fd.Submit(fs.now(req), job, (*sp)[:0])
+	*sp = starts
+	if err == nil {
+		fs.respond(w, shard, starts, clock)
+	}
+	fs.starts.Put(sp)
+	return err
+}
+
+func (fs *fedServer) complete(w http.ResponseWriter, req *request) error {
+	sp := fs.starts.Get().(*[]online.Start)
+	starts, clock, err := fs.fd.Complete(fs.now(req), req.ID, (*sp)[:0])
+	*sp = starts
+	if err == nil {
+		fs.respond(w, -1, starts, clock)
+	}
+	fs.starts.Put(sp)
+	return err
+}
+
+func (fs *fedServer) advance(w http.ResponseWriter, req *request) error {
+	sp := fs.starts.Get().(*[]online.Start)
+	starts, clock, err := fs.fd.AdvanceTo(fs.now(req), (*sp)[:0])
+	*sp = starts
+	if err == nil {
+		fs.respond(w, -1, starts, clock)
+	}
+	fs.starts.Put(sp)
+	return err
+}
+
+func (fs *fedServer) policy(w http.ResponseWriter, req *request) error {
+	p, err := resolvePolicy(req.Name, req.Expr)
+	if err != nil {
+		return badRequest(err)
+	}
+	fs.polMu.Lock()
+	err = fs.fd.SetPolicy(p)
+	fs.polMu.Unlock()
+	if err != nil {
+		return err
+	}
+	writeJSON(w, []byte(`{"policy":`+strconv.Quote(p.Name())+"}\n"))
+	return nil
+}
+
+// applyWire implements binaryHandler: records dispatch through the
+// federation exactly as their HTTP equivalents would, in order.
+func (fs *fedServer) applyWire(recs []durable.Record, buf []online.Start) (float64, []online.Start, error) {
+	var clock float64
+	for i := range recs {
+		rec := &recs[i]
+		if err := checkWireOp(rec.Op); err != nil {
+			return clock, buf, err
+		}
+		var err error
+		switch rec.Op {
+		case durable.OpSubmit:
+			if verr := rec.Job.Validate(fs.fd.ShardCores()); verr != nil {
+				return clock, buf, badRequest(verr)
+			}
+			_, buf, clock, err = fs.fd.Submit(rec.Now, rec.Job, buf)
+		case durable.OpComplete:
+			buf, clock, err = fs.fd.Complete(rec.Now, rec.ID, buf)
+		case durable.OpAdvance:
+			buf, clock, err = fs.fd.AdvanceTo(rec.Now, buf)
+		case durable.OpPolicy:
+			var p sched.Policy
+			if p, err = resolvePolicy(rec.Name, rec.Expr); err != nil {
+				return clock, buf, badRequest(err)
+			}
+			fs.polMu.Lock()
+			err = fs.fd.SetPolicy(p)
+			fs.polMu.Unlock()
+		}
+		if err != nil {
+			return clock, buf, err
+		}
+	}
+	return clock, buf, nil
+}
+
+// fedShardStatus is one shard's block in /v1/status.
+type fedShardStatus struct {
+	Now       float64 `json:"now"`
+	Cores     int     `json:"cores"`
+	FreeCores int     `json:"free_cores"`
+	Queued    int     `json:"queued"`
+	Running   int     `json:"running"`
+	Submitted int     `json:"submitted"`
+	Completed int     `json:"completed"`
+}
+
+func (fs *fedServer) status(w http.ResponseWriter) {
+	st := fs.fd.Status()
+	per := make([]fedShardStatus, len(st.PerShard))
+	for i, s := range st.PerShard {
+		per[i] = fedShardStatus{
+			Now: s.Now, Cores: s.Cores, FreeCores: s.FreeCores,
+			Queued: s.Queued, Running: s.Running,
+			Submitted: s.Submitted, Completed: s.Completed,
+		}
+	}
+	marshalJSON(w, struct {
+		Now       float64          `json:"now"`
+		Shards    int              `json:"shards"`
+		Cores     int              `json:"cores"`
+		FreeCores int              `json:"free_cores"`
+		Queued    int              `json:"queued"`
+		Running   int              `json:"running"`
+		Submitted int              `json:"submitted"`
+		Completed int              `json:"completed"`
+		Stolen    int              `json:"stolen"`
+		Policy    string           `json:"policy"`
+		PerShard  []fedShardStatus `json:"per_shard"`
+	}{
+		Now: st.Now, Shards: st.Shards, Cores: st.Cores, FreeCores: st.FreeCores,
+		Queued: st.Queued, Running: st.Running,
+		Submitted: st.Submitted, Completed: st.Completed,
+		Stolen: st.Stolen, Policy: st.Policy, PerShard: per,
+	})
+}
+
+// fedMetrics is the tagged rendering of online.Metrics shared by the
+// merged block and the per-shard list.
+type fedMetrics struct {
+	Submitted   int     `json:"submitted"`
+	Completed   int     `json:"completed"`
+	Backfilled  int     `json:"backfilled"`
+	MaxQueueLen int     `json:"max_queue_len"`
+	AveBsld     float64 `json:"ave_bsld"`
+	MeanWait    float64 `json:"mean_wait"`
+	MaxBSLD     float64 `json:"max_bsld"`
+	MaxWait     float64 `json:"max_wait"`
+	Utilization float64 `json:"utilization"`
+}
+
+func toFedMetrics(m online.Metrics) fedMetrics {
+	return fedMetrics{
+		Submitted: m.Submitted, Completed: m.Completed, Backfilled: m.Backfilled,
+		MaxQueueLen: m.MaxQueueLen, AveBsld: m.AveBsld, MeanWait: m.MeanWait,
+		MaxBSLD: m.MaxBSLD, MaxWait: m.MaxWait, Utilization: m.Utilization,
+	}
+}
+
+func (fs *fedServer) metrics(w http.ResponseWriter) {
+	merged, per := fs.fd.Metrics()
+	out := struct {
+		fedMetrics
+		PerShard []fedMetrics `json:"per_shard"`
+	}{fedMetrics: toFedMetrics(merged), PerShard: make([]fedMetrics, len(per))}
+	for i, m := range per {
+		out.PerShard[i] = toFedMetrics(m)
+	}
+	marshalJSON(w, out)
+}
+
+// promMetrics serves the merged federation view in Prometheus text
+// exposition format: federation-level gauges plus the per-shard sinks
+// folded into one via Sink.Merge (counters sum, histograms merge
+// bucket-wise), then the daemon-edge latency histograms.
+func (fs *fedServer) promMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	merged := fs.fd.MergedSink()
+	if merged == nil {
+		writeErr(w, http.StatusNotFound, "telemetry is disabled (-telemetry=false)")
+		return
+	}
+	var ew telemetry.ExpositionWriter
+	st := fs.fd.Status()
+	ew.Gauge("gensched_clock_seconds", "Maximum shard logical clock.", st.Now)
+	ew.Gauge("gensched_shards", "Federated shard count.", float64(st.Shards))
+	ew.Gauge("gensched_cores", "Total federated cores.", float64(st.Cores))
+	ew.Gauge("gensched_free_cores", "Cores currently idle across shards.", float64(st.FreeCores))
+	ew.Gauge("gensched_queued_jobs", "Jobs currently waiting across shards.", float64(st.Queued))
+	ew.Gauge("gensched_running_jobs", "Jobs currently running across shards.", float64(st.Running))
+	ew.Gauge("gensched_fed_stolen_placements", "Placements diverted off their hash-primary shard.", float64(st.Stolen))
+	telemetry.WriteSink(&ew, merged)
+	if fs.edge != nil {
+		fs.edge.WriteExposition(&ew)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = ew.WriteTo(w) // a scraper that hung up mid-body is its own problem
+}
+
+// trace serves the merged federation decision trace. Sampling and limit
+// follow the same sample-then-limit contract as the single engine (see
+// parseTraceQuery); sampling applies per shard by sequence, the limit
+// caps the MERGED (clock, shard, seq)-ordered stream. JSONL lines carry
+// a leading "shard" field spliced onto the event encoding; the Chrome
+// rendering drops the shard tag (the viewer's timeline has no lane for
+// it) but keeps the merged order.
+func (fs *fedServer) trace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sample, limit, format, errMsg := parseTraceQuery(r.URL.Query())
+	if errMsg != "" {
+		writeErr(w, http.StatusBadRequest, errMsg)
+		return
+	}
+	evs := fs.fd.MergedTrace(sample, limit)
+	if evs == nil && fs.fd.MergedSink() == nil {
+		writeErr(w, http.StatusNotFound, "telemetry is disabled (-telemetry=false)")
+		return
+	}
+	if format == "chrome" {
+		plain := make([]telemetry.Event, len(evs))
+		for i, e := range evs {
+			plain[i] = e.Event
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = telemetry.WriteEventsChrome(w, plain) // client went away mid-stream; nothing actionable
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	var line, ej []byte
+	for _, e := range evs {
+		line = append(line[:0], `{"shard":`...)
+		line = strconv.AppendInt(line, int64(e.Shard), 10)
+		line = append(line, ',')
+		ej = telemetry.AppendEventJSON(ej[:0], e.Event)
+		line = append(line, ej[1:]...) // splice past the event's '{'
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return // client went away mid-stream; nothing actionable
+		}
+	}
+}

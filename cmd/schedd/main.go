@@ -26,12 +26,27 @@
 // time never goes backward. With -clock real the daemon stamps requests
 // with wall time since boot instead and "now" is ignored.
 //
-// schedd shuts down gracefully on SIGINT/SIGTERM: in-flight requests are
-// drained before the process exits.
+// schedd shuts down gracefully on SIGINT/SIGTERM: the durable journal is
+// flushed and closed after the final in-flight mutation (later mutations
+// get 503), then in-flight requests drain before the process exits. A
+// drain-time fsync failure latches the store — /healthz reports 503 for
+// the rest of the grace period and the exit status is nonzero.
+//
+// With -shards N (N > 1) the daemon becomes a federation: N independent
+// shard schedulers, each its own -cores machine with its own logical
+// clock, behind a deterministic consistent-hash router with a
+// least-loaded fallback. /v1/status, /v1/metrics, /metrics and /v1/trace
+// merge the shards deterministically ((clock, shard, seq) order);
+// -data-dir and /v1/adapt are single-engine features and are refused.
+//
+// With -binary-addr the same mutations are additionally served over a
+// compact length-prefixed binary protocol (see internal/fed: wire.go)
+// that amortizes syscalls by batching submits.
 //
 // Usage:
 //
 //	schedd -addr :8080 -cores 256 -policy FCFS -backfill easy -estimates
+//	schedd -addr :8080 -shards 8 -cores 128 -binary-addr :8081
 //	schedtest -daemon http://localhost:8080 -cores 256 -days 1   # load generator
 package main
 
@@ -71,6 +86,10 @@ type daemonConfig struct {
 	telemetry bool    // counters, histograms, decision trace, /metrics
 	traceBuf  int     // decision-trace ring capacity in events
 	pprofFlag bool    // expose net/http/pprof under /debug/pprof/
+
+	shards     int    // federated shard count; 1 = the classic single engine
+	binaryAddr string // compact binary protocol listener ("" = disabled)
+	fedSeed    uint64 // router ring seed (placements are a pure function of it)
 }
 
 func main() {
@@ -89,6 +108,9 @@ func main() {
 	flag.BoolVar(&cfg.telemetry, "telemetry", true, "enable counters, histograms, the decision trace, /metrics and /v1/trace")
 	flag.IntVar(&cfg.traceBuf, "trace-buf", 4096, "decision-trace ring capacity in events")
 	flag.BoolVar(&cfg.pprofFlag, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.IntVar(&cfg.shards, "shards", 1, "shard count: N > 1 federates N independent -cores machines behind a deterministic router (refuses -data-dir)")
+	flag.StringVar(&cfg.binaryAddr, "binary-addr", "", "listen address for the compact binary protocol (empty = disabled)")
+	flag.Uint64Var(&cfg.fedSeed, "fed-seed", 1, "seed for the federation router's hash ring")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
@@ -112,6 +134,12 @@ func run(cfg daemonConfig) error {
 		realClock = true
 	default:
 		return fmt.Errorf("unknown clock source %q", cfg.clock)
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
+	}
+	if cfg.shards > 1 {
+		return runFederated(cfg, p, bf, realClock)
 	}
 	init := durable.InitState{
 		Cores:        cfg.cores,
@@ -141,6 +169,18 @@ func run(cfg daemonConfig) error {
 		_ = srv.shutdownStore() // cleanup; the listen error is already being reported
 		return err
 	}
+	var bin *binServer
+	if cfg.binaryAddr != "" {
+		bl, berr := net.Listen("tcp", cfg.binaryAddr)
+		if berr != nil {
+			_ = l.Close()
+			_ = srv.shutdownStore()
+			return berr
+		}
+		bin = newBinServer(bl, srv)
+		bin.start()
+		fmt.Fprintf(os.Stderr, "schedd: binary protocol on %s\n", bl.Addr())
+	}
 	fmt.Fprintf(os.Stderr, "schedd: serving %d cores under %s+%s on %s (clock: %s)\n",
 		cfg.cores, p.Name(), bf, l.Addr(), cfg.clock)
 	if cfg.dataDir != "" {
@@ -149,19 +189,35 @@ func run(cfg daemonConfig) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err = serve(ctx, l, srv.handler())
-	// The listener is drained: take a final checkpoint so a graceful stop
-	// recovers instantly, and close the journal.
+	err = serve(ctx, l, srv.handler(), func() error {
+		// Binary connections first — their mutations share sv.mu, so once
+		// the listener and conns are gone, drainStore's mutex acquisition
+		// is the last word on in-flight mutations.
+		if bin != nil {
+			bin.stop()
+		}
+		return srv.drainStore()
+	})
+	// Safety net for the non-drain exit paths (listener error): idempotent
+	// after a graceful drain.
 	if serr := srv.shutdownStore(); err == nil {
 		err = serr
+	}
+	if bin != nil {
+		bin.stop()
 	}
 	return err
 }
 
 // serve runs the HTTP server until ctx is cancelled, then shuts down
-// gracefully: the listener closes immediately, in-flight requests drain
-// (up to a 10s grace period), and only then does serve return.
-func serve(ctx context.Context, l net.Listener, h http.Handler) error {
+// gracefully. Ordering is the durability contract: drain (when non-nil)
+// runs FIRST — it must wait out the final in-flight mutation, refuse
+// later ones, and flush+close the durable journal, latching any failure
+// so /healthz turns 503 — and only then does the listener close and the
+// remaining in-flight requests drain (up to a 10s grace period). A drain
+// failure wins over shutdown errors and forces a nonzero exit: the
+// daemon must never report "drained" with unsynced state on disk.
+func serve(ctx context.Context, l net.Listener, h http.Handler, drain func() error) error {
 	hs := &http.Server{
 		Handler:     h,
 		ReadTimeout: 30 * time.Second,
@@ -171,13 +227,20 @@ func serve(ctx context.Context, l net.Listener, h http.Handler) error {
 	go func() { errc <- hs.Serve(l) }()
 	select {
 	case <-ctx.Done():
+		var derr error
+		if drain != nil {
+			derr = drain()
+		}
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if err := hs.Shutdown(shCtx); err != nil {
-			return err
+		err := hs.Shutdown(shCtx)
+		if err == nil {
+			<-errc // always http.ErrServerClosed after Shutdown
 		}
-		<-errc // always http.ErrServerClosed after Shutdown
-		return nil
+		if derr != nil {
+			return derr
+		}
+		return err
 	case err := <-errc:
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil

@@ -217,7 +217,8 @@ func TestScheddGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, l, newServer(s, 64, false).handler()) }()
+	srv := newServer(s, 64, false)
+	go func() { done <- serve(ctx, l, srv.handler(), srv.drainStore) }()
 
 	url := fmt.Sprintf("http://%s", l.Addr())
 	var lastErr error

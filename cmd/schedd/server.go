@@ -45,13 +45,15 @@ type server struct {
 	// the first journal failure: the in-memory state is then ahead of the
 	// durable state, so further mutations are refused rather than
 	// widening the gap.
-	store      *durable.Store
-	storeErr   error
-	init       durable.InitState
-	policyName string
-	policyExpr string
-	ckptEvery  float64 // logical seconds between checkpoints (0 = off)
-	lastCkpt   float64
+	store       *durable.Store
+	storeErr    error
+	storeClosed bool // the journal was checkpointed and closed (shutdown ran)
+	draining    bool // SIGTERM drain began: refuse new mutations with 503
+	init        durable.InitState
+	policyName  string
+	policyExpr  string
+	ckptEvery   float64 // logical seconds between checkpoints (0 = off)
+	lastCkpt    float64
 
 	// Telemetry (see telemetry.go). tel instruments the scheduler stack
 	// on the logical clock; edge holds the wall-clock per-endpoint
@@ -129,7 +131,7 @@ func (sv *server) handler() http.Handler {
 		}
 		_, _ = w.Write([]byte("ok\n")) // a probe that hung up is its own problem
 	})
-	sv.registerPprof(mux)
+	registerPprof(mux, sv.pprofOn)
 	return mux
 }
 

@@ -14,6 +14,7 @@ package main
 import (
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -112,10 +113,47 @@ func (sv *server) promMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _ = ew.WriteTo(w) // a scraper that hung up mid-body is its own problem
 }
 
+// parseTraceQuery validates the /v1/trace query parameters, shared by
+// the single-engine and federated handlers so the two endpoints cannot
+// drift. The semantics, in one place:
+//
+//   - sample=K keeps every K-th event by sequence number (seq%K == 0).
+//     K must be a positive integer; sample=0 (and any K < 1) is rejected
+//     with the same 400 on every daemon configuration.
+//   - limit=N caps to the most recent N events AFTER sampling — sampling
+//     first, then the recency cap — so sample=10&limit=100 means "the
+//     last 100 of the 1-in-10 thinned stream", never "1 in 10 of the
+//     last 100". telemetry.Tracer.Events and fed.MergedTrace both
+//     implement this order, and TestTraceSampleThenLimit pins it.
+//
+// A non-empty errMsg is a 400 the caller must report.
+func parseTraceQuery(q url.Values) (sample, limit int, format, errMsg string) {
+	sample, limit = 1, 0
+	if s := q.Get("sample"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return 0, 0, "", "sample must be a positive integer"
+		}
+		sample = v
+	}
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return 0, 0, "", "limit must be a non-negative integer"
+		}
+		limit = v
+	}
+	format = q.Get("format")
+	if format != "" && format != "jsonl" && format != "chrome" {
+		return 0, 0, "", "format must be jsonl or chrome"
+	}
+	return sample, limit, format, ""
+}
+
 // trace serves GET /v1/trace: the decision-trace ring as JSONL (default)
 // or Chrome trace-event JSON (?format=chrome), with ?sample=K keeping
 // every K-th event by sequence and ?limit=N capping to the most recent
-// N after sampling.
+// N after sampling (see parseTraceQuery for the full contract).
 func (sv *server) trace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
@@ -125,27 +163,9 @@ func (sv *server) trace(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "telemetry is disabled (-telemetry=false)")
 		return
 	}
-	q := r.URL.Query()
-	sample, limit := 1, 0
-	if s := q.Get("sample"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil || v < 1 {
-			writeErr(w, http.StatusBadRequest, "sample must be a positive integer")
-			return
-		}
-		sample = v
-	}
-	if s := q.Get("limit"); s != "" {
-		v, err := strconv.Atoi(s)
-		if err != nil || v < 0 {
-			writeErr(w, http.StatusBadRequest, "limit must be a non-negative integer")
-			return
-		}
-		limit = v
-	}
-	format := q.Get("format")
-	if format != "" && format != "jsonl" && format != "chrome" {
-		writeErr(w, http.StatusBadRequest, "format must be jsonl or chrome")
+	sample, limit, format, errMsg := parseTraceQuery(r.URL.Query())
+	if errMsg != "" {
+		writeErr(w, http.StatusBadRequest, errMsg)
 		return
 	}
 	// Copy the ring under the server mutex (the tracer is single-writer
@@ -166,9 +186,10 @@ func (sv *server) trace(w http.ResponseWriter, r *http.Request) {
 // registerPprof exposes net/http/pprof under /debug/pprof/ when the
 // daemon was started with -pprof. Explicit registration (not the
 // package's init side effect on DefaultServeMux) so the profiler is
-// opt-in on the daemon's own mux.
-func (sv *server) registerPprof(mux *http.ServeMux) {
-	if !sv.pprofOn {
+// opt-in on the daemon's own mux; shared by the single-engine and
+// federated servers.
+func registerPprof(mux *http.ServeMux, on bool) {
+	if !on {
 		return
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -20,10 +20,11 @@ const (
 	// artifacts users trust).
 	ZoneCmd
 
-	// ZoneGoroutineBlessed marks the one package allowed to spawn
-	// goroutines inside the determinism boundary: internal/runner, the
-	// shared bounded pool whose determinism contract (index-addressed
-	// results, lowest-index error) is what makes fan-out safe.
+	// ZoneGoroutineBlessed marks the packages allowed to spawn
+	// goroutines inside the determinism boundary: internal/runner (the
+	// shared bounded pool) and internal/fed (the shard supervisor), both
+	// carrying the same determinism contract — index-addressed results,
+	// lowest-index error — which is what makes fan-out safe.
 	ZoneGoroutineBlessed
 )
 
@@ -71,6 +72,17 @@ func ZoneOf(rel string) Zone {
 		z |= ZoneCmd
 	}
 	if rel == "internal/runner" {
+		z |= ZoneGoroutineBlessed
+	}
+	// internal/fed is the federation layer: deterministic router, wire
+	// codec, and N shard engines driven concurrently. It stays inside the
+	// determinism boundary — placements are a pure function of the submit
+	// stream and merged outputs are (clock, shard, seq)-ordered — and is
+	// goroutine-blessed like internal/runner: its shard supervisor
+	// (supervisor.go, the package's only spawn site) carries the same
+	// shard-owned-state / lowest-index-error contract that keeps the
+	// fan-out invisible in every output bit.
+	if rel == "internal/fed" {
 		z |= ZoneGoroutineBlessed
 	}
 	// internal/durable owns the daemon's on-disk state (snapshot + WAL).

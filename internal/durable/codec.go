@@ -179,6 +179,20 @@ func (d *decoder) finish(what string) error {
 
 // --- record codec --------------------------------------------------------
 
+// AppendRecord encodes r's payload (no framing) onto dst. The encoding is
+// the journal's: op byte followed by the op's fixed-width LE fields. It is
+// exported for the federation wire protocol (internal/fed), which carries
+// the same record payloads inside length-prefixed frames — one codec, one
+// set of golden vectors, whether a record is bound for disk or a socket.
+func AppendRecord(dst []byte, r *Record) ([]byte, error) {
+	return appendRecord(dst, r)
+}
+
+// DecodeRecord parses one record payload produced by AppendRecord.
+func DecodeRecord(payload []byte) (Record, error) {
+	return decodeRecord(payload)
+}
+
 // appendRecord encodes r's payload (no framing) onto dst.
 func appendRecord(dst []byte, r *Record) ([]byte, error) {
 	dst = append(dst, byte(r.Op))

@@ -1,0 +1,348 @@
+package fed
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/hpcsched/gensched/internal/lublin"
+	"github.com/hpcsched/gensched/internal/online"
+	"github.com/hpcsched/gensched/internal/sched"
+	"github.com/hpcsched/gensched/internal/sim"
+	"github.com/hpcsched/gensched/internal/telemetry"
+	"github.com/hpcsched/gensched/internal/workload"
+)
+
+const testCores = 256
+
+func fedJobs(t testing.TB, n int) []workload.Job {
+	t.Helper()
+	gen, err := lublin.NewGenerator(lublin.DefaultParams(testCores), testCores, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Jobs(n)
+}
+
+func replayOpts() online.ReplayOptions {
+	return online.ReplayOptions{
+		Policy: sched.F1(), Backfill: sim.BackfillEASY, UseEstimates: true,
+	}
+}
+
+// oracleReplay is the sequential single-engine oracle: route the stream
+// with the exact router the federation uses, replay each substream on
+// one engine in shard order with no concurrency, and merge with the
+// same deterministic rules. fed.Replay must match it bit for bit.
+func oracleReplay(t *testing.T, jobs []workload.Job, shards int, traceBuf int) *Result {
+	t.Helper()
+	placements, subs, stolen, err := RouteJobs(jobs, shards, testCores, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{Shards: shards, Placements: placements, Stolen: stolen, PerShard: make([]*sim.Result, shards)}
+	sinks := make([]*telemetry.Sink, shards)
+	per := make([]online.Metrics, shards)
+	for s := 0; s < shards; s++ {
+		opt := replayOpts()
+		if traceBuf > 0 {
+			sinks[s] = telemetry.NewSink(traceBuf)
+			opt.Telemetry = sinks[s]
+		}
+		r, err := online.Replay(testCores, subs[s], opt)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		res.PerShard[s] = r
+		per[s] = online.Metrics{
+			Submitted: len(r.Stats), Completed: len(r.Stats), Backfilled: r.Backfilled,
+			MaxQueueLen: r.MaxQueueLen, AveBsld: r.AVEbsld, MeanWait: r.MeanWait,
+			MaxBSLD: r.MaxBSLD, MaxWait: r.MaxWait, Utilization: r.Utilization,
+		}
+		for _, st := range r.Stats {
+			res.Starts = append(res.Starts, ShardStart{Shard: s, Start: online.Start{
+				ID: st.Job.ID, Time: st.Start, Wait: st.Wait, Backfilled: st.Backfilled,
+			}})
+		}
+	}
+	res.Merged = MergeMetrics(per)
+	sort.SliceStable(res.Starts, func(i, j int) bool { return res.Starts[i].Time < res.Starts[j].Time })
+	if traceBuf > 0 {
+		res.Trace = MergeTraces(sinks)
+	}
+	return res
+}
+
+// TestReplayDifferential pins the federation's determinism contract: for
+// every shard count, the concurrent federated replay is bit-identical —
+// placements, per-shard stats, merged metrics, merged starts, merged
+// trace — to a sequential single-engine replay of the same substreams.
+// Concurrency changes no output bit.
+func TestReplayDifferential(t *testing.T) {
+	jobs := fedJobs(t, 2000)
+	for _, shards := range []int{1, 4, 8} {
+		for _, workers := range []int{1, 2, 0} { // 0 = one goroutine per shard
+			got, err := Replay(jobs, ReplayConfig{
+				Shards: shards, ShardCores: testCores, Seed: 1,
+				Workers: workers, TraceBuf: 4096, Opt: replayOpts(),
+			})
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			want := oracleReplay(t, jobs, shards, 4096)
+			if !reflect.DeepEqual(got.Placements, want.Placements) {
+				t.Fatalf("shards=%d workers=%d: placements diverge", shards, workers)
+			}
+			if got.Stolen != want.Stolen {
+				t.Fatalf("shards=%d workers=%d: stolen %d != %d", shards, workers, got.Stolen, want.Stolen)
+			}
+			for s := range want.PerShard {
+				if !reflect.DeepEqual(got.PerShard[s].Stats, want.PerShard[s].Stats) {
+					t.Fatalf("shards=%d workers=%d: shard %d stats diverge", shards, workers, s)
+				}
+			}
+			if got.Merged != want.Merged {
+				t.Fatalf("shards=%d workers=%d: merged metrics\n got %+v\nwant %+v", shards, workers, got.Merged, want.Merged)
+			}
+			if !reflect.DeepEqual(got.Starts, want.Starts) {
+				t.Fatalf("shards=%d workers=%d: merged starts diverge", shards, workers)
+			}
+			if !reflect.DeepEqual(got.Trace, want.Trace) {
+				t.Fatalf("shards=%d workers=%d: merged trace diverges", shards, workers)
+			}
+		}
+	}
+}
+
+// TestReplaySingleShardMatchesPlainReplay pins the degenerate case: one
+// shard IS the single engine, so a 1-shard federated replay must equal a
+// plain online.Replay of the whole stream (in submit order) exactly.
+func TestReplaySingleShardMatchesPlainReplay(t *testing.T) {
+	jobs := fedJobs(t, 1500)
+	fedRes, err := Replay(jobs, ReplayConfig{
+		Shards: 1, ShardCores: testCores, Seed: 1, Opt: replayOpts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := append([]workload.Job(nil), jobs...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Submit < ordered[b].Submit })
+	plain, err := online.Replay(testCores, ordered, replayOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fedRes.PerShard[0].Stats, plain.Stats) {
+		t.Fatal("1-shard federated stats diverge from the plain single-engine replay")
+	}
+	if fedRes.PerShard[0].AVEbsld != plain.AVEbsld || fedRes.PerShard[0].Utilization != plain.Utilization {
+		t.Fatalf("1-shard summary metrics diverge: %+v vs %+v", fedRes.PerShard[0], plain)
+	}
+}
+
+// TestRouterPlacementsDeterministic is the router property test: the
+// same job stream yields the same placement sequence on every run, for
+// any shard count, and placements are always in range.
+func TestRouterPlacementsDeterministic(t *testing.T) {
+	jobs := fedJobs(t, 3000)
+	for _, shards := range []int{1, 2, 4, 8, 13} {
+		var first []int
+		for run := 0; run < 3; run++ {
+			placements, _, _, err := RouteJobs(jobs, shards, testCores, 7, true, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range placements {
+				if p < 0 || p >= shards {
+					t.Fatalf("shards=%d: job %d placed on %d", shards, i, p)
+				}
+			}
+			if run == 0 {
+				first = placements
+				continue
+			}
+			if !reflect.DeepEqual(placements, first) {
+				t.Fatalf("shards=%d: run %d placements diverge", shards, run)
+			}
+		}
+	}
+}
+
+// TestRouterSpreadsAndSteals checks the two routing mechanisms do real
+// work on a realistic stream: every shard receives jobs (the hash ring
+// spreads), and with stealing enabled a loaded primary diverts work
+// (stolen > 0) while stealFactor = +Inf-like huge values pin jobs home.
+func TestRouterSpreadsAndSteals(t *testing.T) {
+	jobs := fedJobs(t, 3000)
+	_, subs, stolen, err := RouteJobs(jobs, 8, testCores, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sub := range subs {
+		if len(sub) == 0 {
+			t.Errorf("shard %d received no jobs", s)
+		}
+	}
+	if stolen == 0 {
+		t.Error("no placements stolen on a contended stream; the load fallback never fired")
+	}
+	// A huge steal threshold disables the fallback: every job lands on
+	// its hash primary.
+	_, _, pinned, err := RouteJobs(jobs, 8, testCores, 1, true, 1e18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned != 0 {
+		t.Errorf("stealFactor=1e18 still stole %d placements", pinned)
+	}
+}
+
+func TestRouterRejectsDuplicateAndReleases(t *testing.T) {
+	r, err := NewRouter(4, testCores, 1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := workload.Job{ID: 1, Runtime: 100, Estimate: 100, Cores: 8}
+	s, err := r.Place(0, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Locate(1); !ok || got != s {
+		t.Fatalf("Locate(1) = %d,%v want %d,true", got, ok, s)
+	}
+	if _, err := r.Place(0, j); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	r.Release(1)
+	if _, ok := r.Locate(1); ok {
+		t.Fatal("Locate finds a released job")
+	}
+}
+
+// TestFederationLiveDeterministic drives two identical live federations
+// through the same request stream (submits, completions, advances) and
+// requires bit-identical observable state: status, merged metrics,
+// merged trace. The live path shares the router and merge rules with
+// the replay path, so this pins the daemon-facing surface.
+func TestFederationLiveDeterministic(t *testing.T) {
+	jobs := fedJobs(t, 400)
+	run := func() (Status, online.Metrics, []ShardEvent) {
+		f, err := New(Config{
+			Shards: 4, ShardCores: testCores, Seed: 1, TraceBuf: 4096,
+			Opt: online.Options{Policy: sched.F1(), Backfill: sim.BackfillEASY, UseEstimates: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Track running jobs through the start notifications every
+		// mutation returns, then complete them in ID order until the
+		// federation drains.
+		running := make(map[int]bool)
+		addStarts := func(sts []online.Start) {
+			for _, st := range sts {
+				running[st.ID] = true
+			}
+		}
+		for _, j := range jobs {
+			_, sts, _, err := f.Submit(j.Submit, j, nil)
+			if err != nil {
+				t.Fatalf("submit %d: %v", j.ID, err)
+			}
+			addStarts(sts)
+		}
+		for len(running) > 0 {
+			ids := make([]int, 0, len(running))
+			for id := range running {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				delete(running, id)
+				sts, _, err := f.Complete(f.Clock()+1, id, nil)
+				if err != nil {
+					t.Fatalf("complete %d: %v", id, err)
+				}
+				addStarts(sts)
+			}
+		}
+		m, _ := f.Metrics()
+		return f.Status(), m, f.MergedTrace(1, 0)
+	}
+	st1, m1, tr1 := run()
+	st2, m2, tr2 := run()
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("status diverges:\n%+v\n%+v", st1, st2)
+	}
+	if m1 != m2 {
+		t.Fatalf("metrics diverge:\n%+v\n%+v", m1, m2)
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatal("merged traces diverge")
+	}
+	if st1.Completed != len(jobs) {
+		t.Fatalf("completed %d of %d jobs", st1.Completed, len(jobs))
+	}
+}
+
+// TestMergedTraceSampleThenLimit pins the federated /v1/trace semantics:
+// sampling thins each shard's stream by sequence FIRST, then the limit
+// caps the most recent events of the merged (clock, shard, seq) stream.
+func TestMergedTraceSampleThenLimit(t *testing.T) {
+	jobs := fedJobs(t, 300)
+	f, err := New(Config{
+		Shards: 4, ShardCores: testCores, Seed: 1, TraceBuf: 8192,
+		Opt: online.Options{Policy: sched.FCFS(), Backfill: sim.BackfillEASY, UseEstimates: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, _, _, err := f.Submit(j.Submit, j, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const sample, limit = 3, 25
+	full := f.MergedTrace(sample, 0)
+	if len(full) <= limit {
+		t.Fatalf("need more than %d sampled events to test the cap, got %d", limit, len(full))
+	}
+	for _, e := range full {
+		if e.Event.Seq%sample != 0 {
+			t.Fatalf("sampled stream contains seq %d (sample %d)", e.Event.Seq, sample)
+		}
+	}
+	got := f.MergedTrace(sample, limit)
+	want := full[len(full)-limit:]
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("limit must cap the most recent events AFTER sampling: got %d events, want the last %d of the sampled stream", len(got), limit)
+	}
+	// Merge order is nondecreasing in time, shard-ascending within ties.
+	for i := 1; i < len(full); i++ {
+		a, b := full[i-1], full[i]
+		if b.Event.Time < a.Event.Time {
+			t.Fatalf("merged trace goes back in time at %d", i)
+		}
+		if b.Event.Time == a.Event.Time && b.Shard < a.Shard {
+			t.Fatalf("merged trace breaks shard order within instant at %d", i)
+		}
+	}
+}
+
+// TestFederationRejectsOversizedJob pins the capacity contract: one job
+// must fit on one shard, so a job wider than ShardCores is refused even
+// though the federation's total capacity could hold it.
+func TestFederationRejectsOversizedJob(t *testing.T) {
+	f, err := New(Config{
+		Shards: 4, ShardCores: 64,
+		Opt: online.Options{Policy: sched.FCFS()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = f.Submit(0, workload.Job{ID: 1, Runtime: 10, Estimate: 10, Cores: 65}, nil)
+	if err == nil {
+		t.Fatal("a job wider than one shard was accepted")
+	}
+	if _, ok := f.router.Locate(1); ok {
+		t.Fatal("rejected job left a placement behind")
+	}
+}

@@ -1,0 +1,51 @@
+// The shard supervisor: the federation's ONLY goroutine spawn site.
+// genschedvet blesses internal/fed for goroutines (like internal/runner)
+// on the strength of this file's contract — every other file in the
+// package must stay spawn-free, which detlint would flag.
+//
+// Determinism contract, mirroring internal/runner: each shard index is
+// executed exactly once by exactly one goroutine, every result lands in
+// shard-owned state or the caller's slot for that index, and when
+// several shards fail the LOWEST shard's error wins — so a failing
+// federated run reports the same error no matter how the goroutines
+// interleaved, and a succeeding one produces output that cannot encode
+// the interleaving at all.
+
+package fed
+
+import "sync"
+
+// runShards runs fn(shard) for every shard in [0, n), one goroutine per
+// shard ("one engine + goroutine each"), with at most workers of them
+// admitted concurrently (workers <= 0 or >= n means all at once). It
+// waits for every shard and returns the lowest-shard error, if any.
+//
+// fn must confine itself to shard-owned state; the supervisor provides
+// the happens-before edges (goroutine start, WaitGroup join, semaphore
+// handoff) but no other synchronization.
+func runShards(workers, n int, fn func(shard int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

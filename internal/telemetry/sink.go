@@ -44,6 +44,34 @@ func NewSink(traceCap int) *Sink {
 	return &Sink{Trace: NewTracer(traceCap)}
 }
 
+// Merge folds another sink's counters, histograms and pass count into s.
+// The federation layer uses it to render one aggregate /metrics view over
+// per-shard sinks: summing in fixed shard order keeps the merged values
+// deterministic. Traces are NOT merged here — event streams interleave by
+// (clock, shard, seq), which is the federation's job, not a sum.
+func (s *Sink) Merge(o *Sink) {
+	if s == nil || o == nil {
+		return
+	}
+	s.Submitted.Add(o.Submitted.Load())
+	s.Started.Add(o.Started.Load())
+	s.Backfilled.Add(o.Backfilled.Load())
+	s.Completed.Add(o.Completed.Load())
+	s.PolicySwaps.Add(o.PolicySwaps.Load())
+	s.AdaptRounds.Add(o.AdaptRounds.Load())
+	s.Promotions.Add(o.Promotions.Load())
+	s.WALRecords.Add(o.WALRecords.Load())
+	s.WALBytes.Add(o.WALBytes.Load())
+	s.WALSyncs.Add(o.WALSyncs.Load())
+	s.Checkpoints.Add(o.Checkpoints.Load())
+	s.Wait.Merge(&o.Wait)
+	s.Slowdown.Merge(&o.Slowdown)
+	s.QueueDepth.Merge(&o.QueueDepth)
+	s.Drift.Merge(&o.Drift)
+	s.SyncBatch.Merge(&o.SyncBatch)
+	s.passes += o.passes
+}
+
 // trace records an event if tracing is on. Only the rare
 // string-carrying hooks (policy swaps, adapt verdicts) go through
 // here; the per-job hooks use traceFast.

@@ -225,6 +225,12 @@ func appendFloat(b []byte, f float64) []byte {
 	return strconv.AppendFloat(b, f, 'g', -1, 64)
 }
 
+// AppendEventJSON renders one event as a single-line JSON object with
+// keys in fixed order, without the trailing newline. Exported so the
+// federation layer can splice per-shard fields into the same canonical
+// rendering instead of growing a second, drifting formatter.
+func AppendEventJSON(b []byte, e Event) []byte { return appendEventJSON(b, e) }
+
 // appendEventJSON renders one event as a single-line JSON object with
 // keys in fixed order. Hand-rolled rather than encoding/json so the
 // byte stream is reproducible by construction and allocation-light.
