@@ -860,6 +860,125 @@ func replayJournaled(store *durable.Store, cores int, jobs []workload.Job) error
 	}
 }
 
+// drainFederation drives a live federation through a trace: submit
+// every job at its arrival time, then complete started jobs in
+// notification order at clock+1 until the federation drains. The
+// request stream is a pure function of the trace, identical for the
+// bare and journaled sides of a paired iteration.
+func drainFederation(b *testing.B, f *fed.Federation, jobs []workload.Job) {
+	b.Helper()
+	queue := make([]int, 0, len(jobs))
+	for i := range jobs {
+		_, sts, _, err := f.Submit(jobs[i].Submit, jobs[i], nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range sts {
+			queue = append(queue, st.ID)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		sts, _, err := f.Complete(f.Clock()+1, id, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range sts {
+			queue = append(queue, st.ID)
+		}
+	}
+	if st := f.Status(); st.Completed != len(jobs) {
+		b.Fatalf("drained federation completed %d of %d jobs", st.Completed, len(jobs))
+	}
+}
+
+// BenchmarkFederationJournaled bounds the cost of per-shard durability
+// on the live federated mutation path with a PAIRED design: every
+// iteration drains the same trace through two 4-shard federations back
+// to back — one in-memory, one journaling every mutation to its shard's
+// durable.Store — alternating which runs first. events/sec reports the
+// journaled side's fastest pass; durable_ratio is the MEDIAN of the
+// per-pair journaled/bare throughput ratios, and CI floors it at 0.80:
+// per-shard journaling may cost at most 20% of federated throughput.
+// The stores run in batched-fsync mode (the cadence production reaches
+// as -fsync grows), so the ratio isolates the per-record work — record
+// encoding, checksumming, buffered appends, the routing mirrors — not
+// the disk's fsync latency; boot recovery and the drain-time checkpoint
+// sit outside the timed region. Pairing and the median play the same
+// roles as in OnlineThroughputTelemetry, and like every ratio benchmark
+// this stays out of BENCH_baseline.json.
+func BenchmarkFederationJournaled(b *testing.B) {
+	const shards, perShard = 4, 2000
+	jobs := microJobs(shards * perShard)
+	events := 2 * len(jobs)
+	cfg := fed.Config{
+		Shards: shards, ShardCores: 256, Seed: 1,
+		Opt: online.Options{Policy: sched.F1(), Backfill: sim.BackfillEASY, UseEstimates: true},
+	}
+	resolve := func(name, expr string) (sched.Policy, error) { return sched.F1(), nil }
+	runBare := func() float64 {
+		f, err := fed.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		drainFederation(b, f, jobs)
+		return time.Since(t0).Seconds()
+	}
+	runJournaled := func(dir string) float64 {
+		f, err := fed.Open(cfg, fed.DurableConfig{
+			Dir: dir, SyncEvery: 1 << 30, PolicyName: "F1", ResolvePolicy: resolve,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		drainFederation(b, f, jobs)
+		sec := time.Since(t0).Seconds()
+		if err := f.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		return sec
+	}
+	bestJ := math.Inf(1)
+	ratios := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp("", "fedbench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var dJ, dBare float64
+		if i%2 == 0 {
+			dJ, dBare = runJournaled(dir), runBare()
+		} else {
+			dBare, dJ = runBare(), runJournaled(dir)
+		}
+		b.StopTimer()
+		if err := os.RemoveAll(dir); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if dJ < bestJ {
+			bestJ = dJ
+		}
+		if dJ > 0 {
+			ratios = append(ratios, dBare/dJ)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events), "events/op")
+	if bestJ > 0 {
+		b.ReportMetric(float64(events)/bestJ, "events/sec")
+	}
+	if len(ratios) > 0 {
+		b.ReportMetric(median(ratios), "durable_ratio")
+	}
+}
+
 // BenchmarkAdaptiveLoop measures one full closed-loop adaptation round —
 // window characterization, window-matched tuple generation and trial
 // scoring, the 576-candidate refit, and the shadow replay of the window

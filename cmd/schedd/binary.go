@@ -166,12 +166,12 @@ func (b *binServer) serveConn(c net.Conn) {
 		if err != nil {
 			// The frame itself was delimited, so the stream is still in
 			// sync: report and keep serving.
-			resp = fed.AppendErrResp(resp, 400, err.Error())
+			resp = fed.AppendErrResp(resp, 400, false, err.Error())
 		} else {
 			var now float64
 			now, starts, err = b.h.applyWire(recs, starts[:0])
 			if err != nil {
-				resp = fed.AppendErrResp(resp, errStatus(err), err.Error())
+				resp = fed.AppendErrResp(resp, errStatus(err), errRetryable(err), err.Error())
 			} else {
 				resp = fed.AppendOKResp(resp, now, starts)
 			}

@@ -4,8 +4,15 @@
 // — /v1/status and /v1/metrics carry the aggregate AND the per-shard
 // breakdown, /metrics exposes the merged sink, and /v1/trace exports the
 // shard traces merged into the canonical (clock, shard, seq) order with
-// each JSONL line tagged by shard. Durability (-data-dir) and the
-// adaptive loop (/v1/adapt) are single-engine features and are refused.
+// each JSONL line tagged by shard.
+//
+// With -data-dir each shard journals to its own WAL+snapshot store
+// under <data-dir>/shard-NNNN/ and the federation recovers per shard on
+// boot (a pre-federation flat layout is adopted as shard 0). A shard
+// whose store fails is quarantined — mutations targeting it return 503
+// with Retry-After while healthy shards keep serving — and /healthz +
+// /v1/status report per-shard health. The adaptive loop (/v1/adapt)
+// remains a single-engine feature.
 
 package main
 
@@ -33,9 +40,6 @@ import (
 
 // runFederated is run()'s -shards > 1 path.
 func runFederated(cfg daemonConfig, p sched.Policy, bf sim.BackfillMode, realClock bool) error {
-	if cfg.dataDir != "" {
-		return fmt.Errorf("-data-dir requires a single engine (the journal is one scheduler's record stream); drop it or run -shards 1")
-	}
 	fcfg := fed.Config{
 		Shards:     cfg.shards,
 		ShardCores: cfg.cores,
@@ -51,7 +55,13 @@ func runFederated(cfg daemonConfig, p sched.Policy, bf sim.BackfillMode, realClo
 	if cfg.telemetry {
 		fcfg.TraceBuf = cfg.traceBuf
 	}
-	fd, err := fed.New(fcfg)
+	fd, err := fed.Open(fcfg, fed.DurableConfig{
+		Dir:           cfg.dataDir,
+		SyncEvery:     cfg.fsync,
+		CkptEvery:     cfg.ckptEvery,
+		PolicyName:    cfg.policy,
+		ResolvePolicy: resolvePolicy,
+	})
 	if err != nil {
 		return err
 	}
@@ -78,14 +88,25 @@ func runFederated(cfg daemonConfig, p sched.Policy, bf sim.BackfillMode, realClo
 	}
 	fmt.Fprintf(os.Stderr, "schedd: federating %d shards × %d cores under %s+%s on %s (clock: %s, seed %d)\n",
 		cfg.shards, cfg.cores, p.Name(), bf, l.Addr(), cfg.clock, cfg.fedSeed)
+	if cfg.dataDir != "" {
+		fmt.Fprintf(os.Stderr, "schedd: journaling per shard under %s (fsync every %d, checkpoint every %gs, recovered to t=%g)\n",
+			cfg.dataDir, cfg.fsync, cfg.ckptEvery, fd.Clock())
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = serve(ctx, l, fs.handler(), func() error {
+		// Binary connections stop first so the federation's drain — which
+		// waits out in-flight mutations shard by shard and then checkpoints
+		// and closes every shard store — is the last word.
 		if bin != nil {
 			bin.stop()
 		}
-		return nil // no durable store in federated mode
+		return fd.Drain()
 	})
+	// Safety net for the non-drain exit paths; Drain is idempotent.
+	if derr := fd.Drain(); err == nil {
+		err = derr
+	}
 	if bin != nil {
 		bin.stop()
 	}
@@ -138,7 +159,31 @@ func (fs *fedServer) handler() http.Handler {
 			writeErr(w, http.StatusMethodNotAllowed, "GET or HEAD only")
 			return
 		}
-		_, _ = w.Write([]byte("ok\n")) // a probe that hung up is its own problem
+		if fs.fd.Draining() {
+			w.Header().Set("Retry-After", retryAfterSecs)
+			writeErr(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		health := fs.fd.Health()
+		down := 0
+		for _, h := range health {
+			if h.Quarantined {
+				down++
+			}
+		}
+		switch {
+		case down == 0:
+			_, _ = w.Write([]byte("ok\n")) // a probe that hung up is its own problem
+		case down < len(health):
+			// Degraded but serving: healthy shards still take their
+			// substreams, so stay in the load balancer rotation and let the
+			// per-request 503s steer clients off the dead shard.
+			fmt.Fprintf(w, "degraded (%d/%d shards quarantined)\n", down, len(health))
+		default:
+			w.Header().Set("Retry-After", retryAfterSecs)
+			writeErr(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("all %d shards quarantined (durable stores failed)", len(health)))
+		}
 	})
 	registerPprof(mux, fs.pprofOn)
 	return mux
@@ -174,7 +219,7 @@ func (fs *fedServer) post(h func(http.ResponseWriter, *request) error) http.Hand
 			return
 		}
 		if err := h(w, &req); err != nil {
-			writeErr(w, errStatus(err), err.Error())
+			writeHandlerErr(w, err)
 		}
 	}
 }
@@ -277,13 +322,23 @@ func (fs *fedServer) policy(w http.ResponseWriter, req *request) error {
 		return badRequest(err)
 	}
 	fs.polMu.Lock()
-	err = fs.fd.SetPolicy(p)
+	err = fs.setPolicy(p, req.Name, req.Expr)
 	fs.polMu.Unlock()
 	if err != nil {
 		return err
 	}
 	writeJSON(w, []byte(`{"policy":`+strconv.Quote(p.Name())+"}\n"))
 	return nil
+}
+
+// setPolicy dispatches a swap through the journaling path when the
+// federation is durable (the journal records the descriptor, not the
+// value). Callers hold polMu.
+func (fs *fedServer) setPolicy(p sched.Policy, name, expr string) error {
+	if fs.fd.Durable() {
+		return fs.fd.SetPolicyNamed(p, name, expr)
+	}
+	return fs.fd.SetPolicy(p)
 }
 
 // applyWire implements binaryHandler: records dispatch through the
@@ -312,7 +367,7 @@ func (fs *fedServer) applyWire(recs []durable.Record, buf []online.Start) (float
 				return clock, buf, badRequest(err)
 			}
 			fs.polMu.Lock()
-			err = fs.fd.SetPolicy(p)
+			err = fs.setPolicy(p, rec.Name, rec.Expr)
 			fs.polMu.Unlock()
 		}
 		if err != nil {
@@ -322,15 +377,24 @@ func (fs *fedServer) applyWire(recs []durable.Record, buf []online.Start) (float
 	return clock, buf, nil
 }
 
-// fedShardStatus is one shard's block in /v1/status.
+// fedShardStatus is one shard's block in /v1/status. The durability
+// fields appear only on a journaled federation: quarantined + store
+// error report degradation, the rest is recovery provenance.
 type fedShardStatus struct {
-	Now       float64 `json:"now"`
-	Cores     int     `json:"cores"`
-	FreeCores int     `json:"free_cores"`
-	Queued    int     `json:"queued"`
-	Running   int     `json:"running"`
-	Submitted int     `json:"submitted"`
-	Completed int     `json:"completed"`
+	Now          float64 `json:"now"`
+	Cores        int     `json:"cores"`
+	FreeCores    int     `json:"free_cores"`
+	Queued       int     `json:"queued"`
+	Running      int     `json:"running"`
+	Submitted    int     `json:"submitted"`
+	Completed    int     `json:"completed"`
+	Quarantined  bool    `json:"quarantined,omitempty"`
+	StoreError   string  `json:"store_error,omitempty"`
+	JournalSeq   uint64  `json:"journal_seq,omitempty"`
+	Recovered    bool    `json:"recovered,omitempty"`
+	FromSnapshot bool    `json:"from_snapshot,omitempty"`
+	Replayed     int     `json:"replayed_records,omitempty"`
+	Segments     int     `json:"segments_scanned,omitempty"`
 }
 
 func (fs *fedServer) status(w http.ResponseWriter) {
@@ -343,20 +407,40 @@ func (fs *fedServer) status(w http.ResponseWriter) {
 			Submitted: s.Submitted, Completed: s.Completed,
 		}
 	}
+	healthy := len(per)
+	if fs.fd.Durable() {
+		for i, h := range fs.fd.Health() {
+			per[i].Quarantined = h.Quarantined
+			per[i].StoreError = h.StoreErr
+			per[i].JournalSeq = h.Seq
+			per[i].Recovered = h.Recovered
+			per[i].FromSnapshot = h.FromSnapshot
+			per[i].Replayed = h.Replayed
+			per[i].Segments = h.Segments
+			if h.Quarantined {
+				healthy--
+			}
+		}
+	}
 	marshalJSON(w, struct {
-		Now       float64          `json:"now"`
-		Shards    int              `json:"shards"`
-		Cores     int              `json:"cores"`
-		FreeCores int              `json:"free_cores"`
-		Queued    int              `json:"queued"`
-		Running   int              `json:"running"`
-		Submitted int              `json:"submitted"`
-		Completed int              `json:"completed"`
-		Stolen    int              `json:"stolen"`
-		Policy    string           `json:"policy"`
-		PerShard  []fedShardStatus `json:"per_shard"`
+		Now           float64          `json:"now"`
+		Shards        int              `json:"shards"`
+		HealthyShards int              `json:"healthy_shards"`
+		Draining      bool             `json:"draining,omitempty"`
+		Durable       bool             `json:"durable,omitempty"`
+		Cores         int              `json:"cores"`
+		FreeCores     int              `json:"free_cores"`
+		Queued        int              `json:"queued"`
+		Running       int              `json:"running"`
+		Submitted     int              `json:"submitted"`
+		Completed     int              `json:"completed"`
+		Stolen        int              `json:"stolen"`
+		Policy        string           `json:"policy"`
+		PerShard      []fedShardStatus `json:"per_shard"`
 	}{
-		Now: st.Now, Shards: st.Shards, Cores: st.Cores, FreeCores: st.FreeCores,
+		Now: st.Now, Shards: st.Shards, HealthyShards: healthy,
+		Draining: fs.fd.Draining(), Durable: fs.fd.Durable(),
+		Cores: st.Cores, FreeCores: st.FreeCores,
 		Queued: st.Queued, Running: st.Running,
 		Submitted: st.Submitted, Completed: st.Completed,
 		Stolen: st.Stolen, Policy: st.Policy, PerShard: per,

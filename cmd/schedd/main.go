@@ -36,8 +36,12 @@
 // shard schedulers, each its own -cores machine with its own logical
 // clock, behind a deterministic consistent-hash router with a
 // least-loaded fallback. /v1/status, /v1/metrics, /metrics and /v1/trace
-// merge the shards deterministically ((clock, shard, seq) order);
-// -data-dir and /v1/adapt are single-engine features and are refused.
+// merge the shards deterministically ((clock, shard, seq) order). With
+// -data-dir each shard journals to <data-dir>/shard-NNNN/ and recovers
+// independently on boot (a pre-federation flat layout is adopted as
+// shard 0); a shard whose store fails is quarantined — its mutations
+// return 503 + Retry-After while healthy shards keep serving. /v1/adapt
+// remains a single-engine feature.
 //
 // With -binary-addr the same mutations are additionally served over a
 // compact length-prefixed binary protocol (see internal/fed: wire.go)
@@ -108,7 +112,7 @@ func main() {
 	flag.BoolVar(&cfg.telemetry, "telemetry", true, "enable counters, histograms, the decision trace, /metrics and /v1/trace")
 	flag.IntVar(&cfg.traceBuf, "trace-buf", 4096, "decision-trace ring capacity in events")
 	flag.BoolVar(&cfg.pprofFlag, "pprof", false, "expose net/http/pprof under /debug/pprof/")
-	flag.IntVar(&cfg.shards, "shards", 1, "shard count: N > 1 federates N independent -cores machines behind a deterministic router (refuses -data-dir)")
+	flag.IntVar(&cfg.shards, "shards", 1, "shard count: N > 1 federates N independent -cores machines behind a deterministic router (-data-dir journals per shard)")
 	flag.StringVar(&cfg.binaryAddr, "binary-addr", "", "listen address for the compact binary protocol (empty = disabled)")
 	flag.Uint64Var(&cfg.fedSeed, "fed-seed", 1, "seed for the federation router's hash ring")
 	flag.Parse()

@@ -10,6 +10,7 @@ import (
 
 	"github.com/hpcsched/gensched/internal/adaptive"
 	"github.com/hpcsched/gensched/internal/durable"
+	"github.com/hpcsched/gensched/internal/fed"
 	"github.com/hpcsched/gensched/internal/online"
 	"github.com/hpcsched/gensched/internal/telemetry"
 	"github.com/hpcsched/gensched/internal/workload"
@@ -93,13 +94,51 @@ func (e *statusError) Unwrap() error { return e.err }
 func httpError(code int, err error) error { return &statusError{code: code, err: err} }
 func badRequest(err error) error          { return httpError(http.StatusBadRequest, err) }
 
-// errStatus maps a handler error to its HTTP status.
+// errStatus maps a handler error to its HTTP status. Federation
+// degradation errors carry their own mapping: a quarantined shard or a
+// drain in progress refuses before applying (503, retryable), while a
+// journal failure after the mutation applied is a 500, exactly like the
+// single engine's latched-store refusal.
 func errStatus(err error) int {
 	var se *statusError
 	if errors.As(err, &se) {
 		return se.code
 	}
+	var down *fed.ShardDownError
+	if errors.As(err, &down) || errors.Is(err, fed.ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	var broken *fed.ShardBrokenError
+	if errors.As(err, &broken) {
+		return http.StatusInternalServerError
+	}
 	return http.StatusConflict
+}
+
+// retryAfterSecs is the Retry-After value on every retryable 503: long
+// enough that a polite client's backoff dominates, short enough that a
+// drain-then-restart rolls through quickly.
+const retryAfterSecs = "1"
+
+// errRetryable reports whether a handler error is a refused-before-apply
+// condition the client may simply resend: the fed package's retryable
+// set, plus any 503-classed statusError (drain in progress, shutdown).
+func errRetryable(err error) bool {
+	if fed.Retryable(err) {
+		return true
+	}
+	var se *statusError
+	return errors.As(err, &se) && se.code == http.StatusServiceUnavailable
+}
+
+// writeHandlerErr renders a handler error, attaching Retry-After to
+// retryable refusals so polite clients back off instead of hammering a
+// draining or degraded daemon.
+func writeHandlerErr(w http.ResponseWriter, err error) {
+	if errRetryable(err) {
+		w.Header().Set("Retry-After", retryAfterSecs)
+	}
+	writeErr(w, errStatus(err), err.Error())
 }
 
 func (sv *server) handler() http.Handler {
@@ -126,6 +165,7 @@ func (sv *server) handler() http.Handler {
 		err := sv.storeErr
 		sv.mu.Unlock()
 		if err != nil {
+			w.Header().Set("Retry-After", retryAfterSecs)
 			writeErr(w, http.StatusServiceUnavailable, "durable store failed: "+err.Error())
 			return
 		}
@@ -169,7 +209,7 @@ func (sv *server) post(h func(http.ResponseWriter, *request) error) http.Handler
 			return
 		}
 		if err := h(w, &req); err != nil {
-			writeErr(w, errStatus(err), err.Error())
+			writeHandlerErr(w, err)
 		}
 	}
 }

@@ -164,6 +164,7 @@ func TestZoneOf(t *testing.T) {
 		{"internal/adaptive", true, false, false},
 		{"internal/runner", true, false, true},
 		{"internal/durable", true, true, false},
+		{"internal/faultfs", true, true, false},
 		{"internal/telemetry", true, true, false},
 		{"internal/profiling", false, false, false},
 		{"internal/analysis", false, false, false},

@@ -95,6 +95,17 @@ func ZoneOf(rel string) Zone {
 	if rel == "internal/durable" {
 		z |= ZoneCmd
 	}
+	// internal/faultfs is the deterministic fault injector behind the
+	// durable-store VFS seam. It stays inside the determinism boundary —
+	// fault schedules are pure op-counting (a Plan is a function of seed
+	// and stream via dist.Split, firing points are 1-based op indices),
+	// so the same schedule trips the same fault at the same record in
+	// every run — and is errlint-checked like internal/durable: it wraps
+	// the same Write/Sync/Close surface, and a dropped error in the
+	// pass-through path would make injected faults silently vanish.
+	if rel == "internal/faultfs" {
+		z |= ZoneCmd
+	}
 	// internal/telemetry is the instrumentation layer. It stays inside
 	// the determinism boundary — every event rides the logical clock, so
 	// no wall clocks, no goroutines, no map-order leaks into exports —

@@ -320,6 +320,25 @@ type AdaptState struct {
 	State  adaptive.ControllerState
 }
 
+// FedState tags a shard's snapshot with its place in a federation. It
+// exists so per-shard recovery can refuse a snapshot moved between
+// shards or federations, and so the router's cumulative steal count —
+// which completed jobs no longer witness — survives a restart: each
+// shard carries the diversions onto itself, and the recovered total is
+// the sum plus whatever per-record replay re-derives.
+type FedState struct {
+	Shard  int
+	Shards int
+	Seed   uint64
+	// StolenOnto is the cumulative count of placements the router
+	// diverted onto this shard off their hash-primary, as of Seq.
+	StolenOnto int
+	// VT is the router's fluid-model virtual completion time for this
+	// shard as of Seq. Placements after recovery depend on it, so it must
+	// survive the restart for routing to stay bit-identical.
+	VT float64
+}
+
 // Snapshot is one checkpoint: the full scheduler image at journal
 // sequence Seq. Recovery loads it and replays only records >= Seq.
 type Snapshot struct {
@@ -331,6 +350,10 @@ type Snapshot struct {
 	PolicyExpr string
 	Sched      online.SchedulerState
 	Adapt      *AdaptState
+	// Fed is nil for a single-engine snapshot — in which case the
+	// encoding is bit-for-bit the pre-federation format — and set for a
+	// federated shard's snapshot, as a trailing section.
+	Fed *FedState
 }
 
 // EncodeSnapshot renders the snapshot payload (no framing). The encoding
@@ -349,6 +372,16 @@ func EncodeSnapshot(snap *Snapshot) []byte {
 		b = appendAdaptConfig(b, &snap.Adapt.Config)
 		b = appendControllerState(b, &snap.Adapt.State)
 	}
+	// The fed section is strictly trailing and written only when present,
+	// so single-engine snapshots keep the pre-federation byte format.
+	if snap.Fed != nil {
+		b = appendBool(b, true)
+		b = appendInt(b, snap.Fed.Shard)
+		b = appendInt(b, snap.Fed.Shards)
+		b = appendU64(b, snap.Fed.Seed)
+		b = appendInt(b, snap.Fed.StolenOnto)
+		b = appendF64(b, snap.Fed.VT)
+	}
 	return b
 }
 
@@ -365,6 +398,18 @@ func DecodeSnapshot(payload []byte) (*Snapshot, error) {
 		snap.Adapt = &AdaptState{}
 		snap.Adapt.Config = decodeAdaptConfig(d)
 		decodeControllerState(d, &snap.Adapt.State)
+	}
+	// Bytes past the adapt section are the optional fed block; its
+	// absence (the pre-federation format) leaves Fed nil.
+	if d.err == nil && len(d.b) > 0 {
+		if d.bool("snapshot fed flag") {
+			snap.Fed = &FedState{}
+			snap.Fed.Shard = d.int("snapshot fed shard")
+			snap.Fed.Shards = d.int("snapshot fed shards")
+			snap.Fed.Seed = d.u64("snapshot fed seed")
+			snap.Fed.StolenOnto = d.int("snapshot fed stolen")
+			snap.Fed.VT = d.f64("snapshot fed vt")
+		}
 	}
 	if err := d.finish("snapshot"); err != nil {
 		return nil, err

@@ -83,8 +83,8 @@ type segment struct {
 // readSegment reads and decodes one segment file. Framing failures mark
 // the torn tail; a decode failure inside an intact frame is real
 // corruption and fails the read.
-func readSegment(path string) (*segment, error) {
-	data, err := os.ReadFile(path)
+func readSegment(fsys FS, path string) (*segment, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -116,33 +116,39 @@ func readSegment(path string) (*segment, error) {
 
 // createFileAtomic writes content to dir/name via a temp file, fsync,
 // rename, and directory fsync, so the name either holds the full content
-// or does not exist.
-func createFileAtomic(dir, name string, content []byte) error {
+// or does not exist. Any failure removes the temp file — a failed
+// checkpoint must not leak a .tmp that sits in the directory until the
+// next Open sweeps it (pinned by a faultfs regression test).
+func createFileAtomic(fsys FS, dir, name string, content []byte) error {
 	tmp := filepath.Join(dir, name+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(content); err != nil {
-		_ = f.Close() // cleanup; the write error is already being reported
+		_ = f.Close()        // cleanup; the write error is already being reported
+		_ = fsys.Remove(tmp) // best-effort; Open sweeps leftovers anyway
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		_ = f.Close() // cleanup; the sync error is already being reported
+		_ = f.Close()        // cleanup; the sync error is already being reported
+		_ = fsys.Remove(tmp) // best-effort; Open sweeps leftovers anyway
 		return err
 	}
 	if err := f.Close(); err != nil {
+		_ = fsys.Remove(tmp) // best-effort; Open sweeps leftovers anyway
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		_ = fsys.Remove(tmp) // best-effort; Open sweeps leftovers anyway
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // syncDir fsyncs a directory so a rename or create within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys FS, dir string) error {
+	d, err := fsys.OpenDir(dir)
 	if err != nil {
 		return err
 	}

@@ -156,6 +156,80 @@ func checkTrip(t *testing.T, at, cores int, init InitState, opt online.Options, 
 		t.Fatalf("event %d: snapshot not idempotent: %d vs %d bytes (first difference at %d)",
 			at, len(enc), len(enc2), firstDiff(enc, enc2))
 	}
+
+	// Fed-tagged variant: a federated shard's snapshot carries a trailing
+	// FedState block. The same decode → restore → re-export loop must
+	// reproduce its bytes exactly (the federated crash suite's oracle
+	// rides on this), and the untagged encoding must be a strict prefix —
+	// the block is trailing, so single-engine snapshots keep the
+	// pre-federation byte format.
+	fed := &FedState{Shard: at % 7, Shards: 8, Seed: 42, StolenOnto: at, VT: float64(at) * 1.5}
+	fsnap := &Snapshot{Seq: snap.Seq, Init: snap.Init, PolicyName: snap.PolicyName,
+		PolicyExpr: snap.PolicyExpr, Sched: snap.Sched, Adapt: snap.Adapt, Fed: fed}
+	fenc := EncodeSnapshot(fsnap)
+	if !bytes.HasPrefix(fenc, enc) {
+		t.Fatalf("event %d: fed block is not strictly trailing (first difference at %d)",
+			at, firstDiff(fenc, enc))
+	}
+	fdec, err := DecodeSnapshot(fenc)
+	if err != nil {
+		t.Fatalf("event %d: fed decode: %v", at, err)
+	}
+	if fdec.Fed == nil || *fdec.Fed != *fed {
+		t.Fatalf("event %d: fed state changed in round trip: %+v vs %+v", at, fdec.Fed, fed)
+	}
+	s3, err := online.Restore(cores, opt, &fdec.Sched)
+	if err != nil {
+		t.Fatalf("event %d: fed restore: %v", at, err)
+	}
+	fsnap2 := &Snapshot{Seq: fdec.Seq, Init: fdec.Init, PolicyName: fdec.PolicyName,
+		PolicyExpr: fdec.PolicyExpr, Adapt: fdec.Adapt, Fed: fdec.Fed}
+	if err := s3.ExportState(&fsnap2.Sched); err != nil {
+		t.Fatalf("event %d: fed re-export: %v", at, err)
+	}
+	if fenc2 := EncodeSnapshot(fsnap2); !bytes.Equal(fenc, fenc2) {
+		t.Fatalf("event %d: fed snapshot not idempotent: %d vs %d bytes (first difference at %d)",
+			at, len(fenc), len(fenc2), firstDiff(fenc, fenc2))
+	}
+}
+
+// FuzzDecodeSnapshot hammers the snapshot decoder — the recovery
+// surface a corrupted checkpoint reaches — with mutated payloads seeded
+// from golden encodings, untagged and shard-tagged. The decoder must
+// never panic, and anything it accepts must re-encode canonically:
+// encode(decode(x)) is a fixed point of decode∘encode.
+func FuzzDecodeSnapshot(f *testing.F) {
+	base := Snapshot{
+		Seq:  7,
+		Init: InitState{Cores: 128, Backfill: 1, UseEstimates: true, Tau: 10, PolicyName: "F1"},
+	}
+	f.Add(EncodeSnapshot(&base))
+	tagged := base
+	tagged.Fed = &FedState{Shard: 3, Shards: 8, Seed: 42, StolenOnto: 17, VT: 12345.5}
+	f.Add(EncodeSnapshot(&tagged))
+	adapt := base
+	adapt.Adapt = &AdaptState{Config: AdaptConfig{Window: 48, MinWindow: 6, Interval: 120,
+		SSize: 8, QSize: 12, Tuples: 1, Trials: 6, TopK: 1, Workers: 1, Seed: 9}}
+	f.Add(EncodeSnapshot(&adapt))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		snap, err := DecodeSnapshot(payload)
+		if err != nil {
+			return
+		}
+		enc := EncodeSnapshot(snap)
+		back, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot fails to decode: %v", err)
+		}
+		if enc2 := EncodeSnapshot(back); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not canonical: %d vs %d bytes (first difference at %d)",
+				len(enc), len(enc2), firstDiff(enc, enc2))
+		}
+		if (snap.Fed == nil) != (back.Fed == nil) || (snap.Fed != nil && *snap.Fed != *back.Fed) {
+			t.Fatalf("fed tag changed across re-decode: %+v vs %+v", snap.Fed, back.Fed)
+		}
+	})
 }
 
 func firstDiff(a, b []byte) int {

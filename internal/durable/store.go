@@ -7,6 +7,7 @@ package durable
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -24,6 +25,11 @@ type Options struct {
 	// durable before Append returns; N > 1 amortizes the fsync and risks
 	// the last N-1 acknowledged records on a crash.
 	SyncEvery int
+
+	// FS is the filesystem the store runs on; nil means the real one
+	// (OS()). Tests substitute a faultfs.FS to exercise failure paths on
+	// a deterministic schedule.
+	FS FS
 }
 
 // Recovered is what Open found on disk: the latest snapshot (nil for a
@@ -42,11 +48,13 @@ type Recovered struct {
 type Store struct {
 	dir       string
 	syncEvery int
+	fs        FS
 
-	f        *os.File // active segment
+	f        File // active segment (nil after Close, or mid-rotation failure)
 	w        *bufio.Writer
 	seq      uint64 // sequence of the next record to append
 	unsynced int
+	closed   bool
 	scratch  []byte
 
 	// broken latches the first write/sync failure: after it, every
@@ -78,10 +86,14 @@ func Open(dir string, opt Options) (*Store, *Recovered, error) {
 	if opt.SyncEvery < 1 {
 		opt.SyncEvery = 1
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -90,7 +102,7 @@ func Open(dir string, opt Options) (*Store, *Recovered, error) {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") {
 			// A checkpoint died before its rename; the file is garbage.
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
 				return nil, nil, err
 			}
 			continue
@@ -103,18 +115,18 @@ func Open(dir string, opt Options) (*Store, *Recovered, error) {
 	sort.Strings(segNames)
 
 	rec := &Recovered{}
-	if data, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+	if data, err := fsys.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
 		rec.Snapshot, err = decodeSnapshotFile(data)
 		if err != nil {
 			return nil, nil, fmt.Errorf("durable: %s: %w", filepath.Join(dir, snapshotName), err)
 		}
-	} else if !os.IsNotExist(err) {
+	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, nil, err
 	}
 
 	segs := make([]*segment, len(segNames))
 	for i, name := range segNames {
-		s, err := readSegment(filepath.Join(dir, name))
+		s, err := readSegment(fsys, filepath.Join(dir, name))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -156,14 +168,14 @@ func Open(dir string, opt Options) (*Store, *Recovered, error) {
 		}
 	}
 
-	st := &Store{dir: dir, syncEvery: opt.SyncEvery, seq: startSeq + uint64(len(rec.Records))}
+	st := &Store{dir: dir, syncEvery: opt.SyncEvery, fs: fsys, seq: startSeq + uint64(len(rec.Records))}
 	if len(segs) == 0 {
 		if err := st.newSegment(0); err != nil {
 			return nil, nil, err
 		}
 	} else {
 		last := segs[len(segs)-1]
-		f, err := os.OpenFile(last.path, os.O_RDWR, 0)
+		f, err := fsys.OpenFile(last.path, os.O_RDWR, 0)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -210,10 +222,10 @@ func (s *Store) newSegment(base uint64) error {
 	hdr = append(hdr, segMagic...)
 	hdr = appendU64(hdr, base)
 	name := segmentName(base)
-	if err := createFileAtomic(s.dir, name, hdr); err != nil {
+	if err := createFileAtomic(s.fs, s.dir, name, hdr); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_WRONLY, 0)
+	f, err := s.fs.OpenFile(filepath.Join(s.dir, name), os.O_WRONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -237,6 +249,9 @@ func (s *Store) SetTelemetry(t *telemetry.Sink) { s.tel = t }
 // only if this append completed a SyncEvery batch; call Sync to force a
 // partial batch down.
 func (s *Store) Append(r *Record) error {
+	if s.closed {
+		return fmt.Errorf("durable: store is closed")
+	}
 	if s.broken != nil {
 		return fmt.Errorf("durable: journal is failed: %w", s.broken)
 	}
@@ -272,6 +287,9 @@ func (s *Store) Append(r *Record) error {
 // latches: the buffer may be half-drained, so the store refuses further
 // mutation.
 func (s *Store) Sync() error {
+	if s.closed {
+		return fmt.Errorf("durable: store is closed")
+	}
 	if s.broken != nil {
 		return fmt.Errorf("durable: journal is failed: %w", s.broken)
 	}
@@ -303,11 +321,16 @@ func (s *Store) Checkpoint(snap *Snapshot) error {
 	content := make([]byte, 0, len(enc)+len(snapMagic)+frameHeader)
 	content = append(content, snapMagic...)
 	content = appendFrame(content, enc)
-	if err := createFileAtomic(s.dir, snapshotName, content); err != nil {
+	if err := createFileAtomic(s.fs, s.dir, snapshotName, content); err != nil {
 		s.broken = err
 		return err
 	}
-	if err := s.f.Close(); err != nil {
+	// The active segment is nil between a successful close and a
+	// successful rotation, so a failure in this window cannot lead Close
+	// to double-close the old handle.
+	err := s.f.Close()
+	s.f = nil
+	if err != nil {
 		s.broken = err
 		return err
 	}
@@ -315,7 +338,7 @@ func (s *Store) Checkpoint(snap *Snapshot) error {
 		s.broken = err
 		return err
 	}
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		s.broken = err
 		return err
@@ -328,12 +351,12 @@ func (s *Store) Checkpoint(snap *Snapshot) error {
 	}
 	sort.Strings(old) // oldest first
 	for _, name := range old {
-		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil {
 			s.broken = err
 			return err
 		}
 	}
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDir(s.fs, s.dir); err != nil {
 		return err
 	}
 	s.tel.WALCheckpoint(s.lastNow, snap.Seq, len(enc))
@@ -341,15 +364,37 @@ func (s *Store) Checkpoint(snap *Snapshot) error {
 }
 
 // Close flushes, fsyncs and closes the active segment. A store that
-// already failed closes the file without masking the original error.
+// already failed closes the file without masking the original error, and
+// a second Close reports the first outcome instead of re-closing a dead
+// handle (the Close-after-failure double-close, pinned by a faultfs
+// regression test).
 func (s *Store) Close() error {
+	if s.closed {
+		if s.broken != nil {
+			return fmt.Errorf("durable: journal is failed: %w", s.broken)
+		}
+		return fmt.Errorf("durable: store is already closed")
+	}
 	if s.broken != nil {
-		_ = s.f.Close() // cleanup; the store already failed with s.broken
+		s.closed = true
+		if s.f != nil {
+			_ = s.f.Close() // cleanup; the store already failed with s.broken
+			s.f = nil
+		}
 		return fmt.Errorf("durable: journal is failed: %w", s.broken)
 	}
 	if err := s.Sync(); err != nil {
+		s.closed = true
 		_ = s.f.Close() // cleanup; the sync error is already being reported
+		s.f = nil
 		return err
 	}
-	return s.f.Close()
+	s.closed = true
+	err := s.f.Close()
+	s.f = nil
+	return err
 }
+
+// Broken reports the latched failure, nil while the store is healthy.
+// The federation's quarantine decision keys off it.
+func (s *Store) Broken() error { return s.broken }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/hpcsched/gensched/internal/durable"
 	"github.com/hpcsched/gensched/internal/online"
 	"github.com/hpcsched/gensched/internal/sched"
 	"github.com/hpcsched/gensched/internal/telemetry"
@@ -39,13 +40,33 @@ type Config struct {
 	Workers int
 }
 
-// shard is one engine plus its lock and sink. The scheduler and sink
-// are shard-owned single-writer state: every interaction happens under
-// mu, and the supervisor's goroutines touch one shard each.
+// shard is one engine plus its lock, sink and (in a durable federation)
+// its journal. The scheduler, sink and store are shard-owned
+// single-writer state: every interaction happens under mu, and the
+// supervisor's goroutines touch one shard each.
 type shard struct {
 	mu  sync.Mutex
 	s   *online.Scheduler
 	tel *telemetry.Sink
+
+	// Durability (nil/zero in a non-durable federation). storeErr latches
+	// the first journaling failure; the shard is quarantined in the
+	// router at the same moment and never serves a mutation again.
+	store       *durable.Store
+	storeErr    error
+	storeClosed bool
+	health      ShardHealth // recovery provenance (static after Open)
+	init        durable.InitState
+	policyName  string
+	policyExpr  string
+	lastCkpt    float64
+
+	// Journal-order mirrors of the router's per-shard state: vt is the
+	// fluid clock, stolenOnto the steal attribution, both advanced at
+	// journal-append time so the shard's snapshot reflects exactly the
+	// placements its journal holds — never a placement still in flight.
+	vt         float64
+	stolenOnto int
 }
 
 // Federation is N shard schedulers behind a deterministic router.
@@ -55,9 +76,14 @@ type shard struct {
 // the request stream.
 type Federation struct {
 	cfg    Config
-	mu     sync.Mutex // guards router
+	mu     sync.Mutex // guards router, draining, drainErr
 	router *Router
 	shards []*shard
+
+	// dur is non-nil for a durable federation (Open with a data dir).
+	dur      *DurableConfig
+	draining bool
+	drainErr error
 }
 
 // New builds a federation of cfg.Shards identical shard schedulers.
@@ -106,6 +132,10 @@ func (f *Federation) Stolen() int {
 // if the request never happened.
 func (f *Federation) Submit(now float64, j workload.Job, buf []online.Start) (shardIdx int, starts []online.Start, clock float64, err error) {
 	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		return 0, buf, 0, ErrDraining
+	}
 	shardIdx, err = f.router.Place(now, j)
 	f.mu.Unlock()
 	if err != nil {
@@ -113,8 +143,21 @@ func (f *Federation) Submit(now float64, j workload.Job, buf []online.Start) (sh
 	}
 	sh := f.shards[shardIdx]
 	sh.mu.Lock()
+	// The shard may have latched between Place and here; a quarantined
+	// shard never serves a mutation, so undo the placement and refuse.
+	if sh.storeErr != nil {
+		sh.mu.Unlock()
+		f.mu.Lock()
+		f.router.Release(j.ID)
+		f.mu.Unlock()
+		return shardIdx, buf, 0, &ShardDownError{Shard: shardIdx}
+	}
 	st, serr := sh.s.SubmitAt(now, j)
 	starts = append(buf, st...) // copy out of the scheduler's scratch
+	var jerr error
+	if serr == nil {
+		jerr = f.journalLocked(sh, shardIdx, &durable.Record{Op: durable.OpSubmit, Now: now, Job: j})
+	}
 	clock = sh.s.Clock()
 	sh.mu.Unlock()
 	if serr != nil {
@@ -123,13 +166,20 @@ func (f *Federation) Submit(now float64, j workload.Job, buf []online.Start) (sh
 		f.mu.Unlock()
 		return shardIdx, starts, clock, serr
 	}
-	return shardIdx, starts, clock, nil
+	// A journal failure is reported after the fact: the job IS placed and
+	// queued in memory (the placement stands), it just is not durable —
+	// the fatal condition ShardBrokenError describes.
+	return shardIdx, starts, clock, jerr
 }
 
 // Complete reports a completion at time now to the shard the job was
 // placed on.
 func (f *Federation) Complete(now float64, id int, buf []online.Start) (starts []online.Start, clock float64, err error) {
 	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		return buf, 0, ErrDraining
+	}
 	shardIdx, ok := f.router.Locate(id)
 	f.mu.Unlock()
 	if !ok {
@@ -137,17 +187,27 @@ func (f *Federation) Complete(now float64, id int, buf []online.Start) (starts [
 	}
 	sh := f.shards[shardIdx]
 	sh.mu.Lock()
+	if sh.storeErr != nil {
+		sh.mu.Unlock()
+		return buf, 0, &ShardDownError{Shard: shardIdx}
+	}
 	st, serr := sh.s.CompleteAt(now, id)
 	starts = append(buf, st...)
+	var jerr error
+	if serr == nil {
+		jerr = f.journalLocked(sh, shardIdx, &durable.Record{Op: durable.OpComplete, Now: now, ID: id})
+	}
 	clock = sh.s.Clock()
 	sh.mu.Unlock()
 	if serr != nil {
 		return starts, clock, serr
 	}
+	// The completion is applied in memory either way; release the
+	// placement and, on a journal failure, report the fatal latch.
 	f.mu.Lock()
 	f.router.Release(id)
 	f.mu.Unlock()
-	return starts, clock, nil
+	return starts, clock, jerr
 }
 
 // AdvanceTo moves every shard's clock forward to now (clamped per shard
@@ -155,21 +215,42 @@ func (f *Federation) Complete(now float64, id int, buf []online.Start) (starts [
 // (time, shard, per-shard pass order). clock is the maximum shard clock
 // after the advance.
 func (f *Federation) AdvanceTo(now float64, buf []online.Start) (starts []online.Start, clock float64, err error) {
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		return buf, 0, ErrDraining
+	}
+	f.mu.Unlock()
 	starts = buf
-	for _, sh := range f.shards {
+	for i, sh := range f.shards {
 		sh.mu.Lock()
+		// A latched shard is frozen: advancing its clock in memory without
+		// a journal record would diverge its durable state.
+		if sh.storeErr != nil {
+			sh.mu.Unlock()
+			continue
+		}
 		t := now
 		if c := sh.s.Clock(); t < c {
 			t = c
 		}
 		st, aerr := sh.s.AdvanceTo(t)
 		starts = append(starts, st...)
+		var jerr error
+		if aerr == nil {
+			// The unclamped request time is journaled; replay re-clamps
+			// against the shard clock exactly as the live path did.
+			jerr = f.journalLocked(sh, i, &durable.Record{Op: durable.OpAdvance, Now: now})
+		}
 		if c := sh.s.Clock(); c > clock {
 			clock = c
 		}
 		sh.mu.Unlock()
 		if aerr != nil {
 			return starts, clock, aerr
+		}
+		if jerr != nil {
+			return starts, clock, jerr
 		}
 	}
 	// Shards were drained in ascending order, so a stable sort by time
@@ -179,10 +260,48 @@ func (f *Federation) AdvanceTo(now float64, buf []online.Start) (starts []online
 }
 
 // SetPolicy hot-swaps the queue policy on every shard, in shard order.
+// A durable federation must use SetPolicyNamed — the journal records a
+// policy by descriptor, not by value.
 func (f *Federation) SetPolicy(p sched.Policy) error {
-	for _, sh := range f.shards {
+	if f.dur != nil {
+		return fmt.Errorf("fed: a durable federation swaps policies by name (SetPolicyNamed)")
+	}
+	return f.setPolicy(p, "", "")
+}
+
+// SetPolicyNamed hot-swaps the queue policy on every shard, in shard
+// order, journaling the swap per shard. It refuses unless every shard is
+// healthy: a policy that lands on a strict subset of shards would make
+// the federation's placement-to-schedule mapping depend on which shard
+// failed when.
+func (f *Federation) SetPolicyNamed(p sched.Policy, name, expr string) error {
+	f.mu.Lock()
+	if f.draining {
+		f.mu.Unlock()
+		return ErrDraining
+	}
+	if h := f.router.Healthy(); h < f.cfg.Shards {
+		f.mu.Unlock()
+		return fmt.Errorf("fed: refusing policy swap with %d/%d shards quarantined", f.cfg.Shards-h, f.cfg.Shards)
+	}
+	f.mu.Unlock()
+	return f.setPolicy(p, name, expr)
+}
+
+func (f *Federation) setPolicy(p sched.Policy, name, expr string) error {
+	for i, sh := range f.shards {
 		sh.mu.Lock()
+		if sh.storeErr != nil {
+			sh.mu.Unlock()
+			return &ShardDownError{Shard: i}
+		}
 		err := sh.s.SetPolicy(p)
+		if err == nil {
+			err = f.journalLocked(sh, i, &durable.Record{Op: durable.OpPolicy, Name: name, Expr: expr})
+			if err == nil {
+				sh.policyName, sh.policyExpr = name, expr
+			}
+		}
 		sh.mu.Unlock()
 		if err != nil {
 			return err

@@ -69,10 +69,22 @@ type Router struct {
 	useEst      bool
 	stealFactor float64
 
-	ring   []ringPoint
-	vt     []float64   // per-shard virtual completion time (fluid backlog)
-	placed map[int]int // active job ID → shard
-	stolen int         // placements diverted off their hash-primary
+	ring       []ringPoint
+	vt         []float64   // per-shard virtual completion time (fluid backlog)
+	placed     map[int]int // active job ID → shard
+	stolenOnto []int       // per-shard count of placements diverted onto it
+	quar       []bool      // quarantined shards: no new placements
+}
+
+// ShardDownError reports a placement or lookup that targets a
+// quarantined shard. It maps to 503 + Retry-After at the HTTP layer and
+// to a retryable Err frame on the binary protocol: the shard may return
+// after an operator restarts the daemon, so the client should back off
+// and retry rather than give up.
+type ShardDownError struct{ Shard int }
+
+func (e *ShardDownError) Error() string {
+	return fmt.Sprintf("fed: shard %d is quarantined (durable store failed)", e.Shard)
 }
 
 // NewRouter builds a router for the given shard count and per-shard
@@ -98,6 +110,8 @@ func NewRouter(shards, shardCores int, seed uint64, useEstimates bool, stealFact
 		ring:        make([]ringPoint, 0, shards*vnodes),
 		vt:          make([]float64, shards),
 		placed:      make(map[int]int),
+		stolenOnto:  make([]int, shards),
+		quar:        make([]bool, shards),
 	}
 	for s := 0; s < shards; s++ {
 		shardSeed := dist.Split(seed, uint64(s))
@@ -121,7 +135,53 @@ func (r *Router) Shards() int { return r.shards }
 
 // Stolen returns how many placements were diverted off their
 // hash-primary shard by the load fallback.
-func (r *Router) Stolen() int { return r.stolen }
+func (r *Router) Stolen() int {
+	total := 0
+	for _, n := range r.stolenOnto {
+		total += n
+	}
+	return total
+}
+
+// StolenOnto returns the diversions onto one shard — the per-shard
+// attribution a shard's durable snapshot carries.
+func (r *Router) StolenOnto(s int) int { return r.stolenOnto[s] }
+
+// VT returns the fluid-model virtual completion time of one shard, for
+// the shard's durable snapshot.
+func (r *Router) VT(s int) float64 { return r.vt[s] }
+
+// RestoreShard seeds one shard's routing state from its recovered
+// snapshot: the fluid clock and the steal attribution as of the
+// snapshot. Records after the snapshot re-derive the rest via Adopt.
+func (r *Router) RestoreShard(s int, vt float64, stolenOnto int) {
+	r.vt[s] = vt
+	r.stolenOnto[s] = stolenOnto
+}
+
+// Quarantine marks a shard down: Place never targets it again and
+// lookups of jobs on it report ShardDownError. There is no un-quarantine
+// short of a restart — the underlying store is latched broken.
+func (r *Router) Quarantine(s int) { r.quar[s] = true }
+
+// Quarantined reports whether a shard is down.
+func (r *Router) Quarantined(s int) bool { return r.quar[s] }
+
+// Healthy returns how many shards accept placements.
+func (r *Router) Healthy() int {
+	n := 0
+	for _, q := range r.quar {
+		if !q {
+			n++
+		}
+	}
+	return n
+}
+
+// Primary returns the consistent-hash shard for a job ID, ignoring load
+// and quarantine — the pure ring lookup. Recovery uses it to re-derive
+// whether a journaled placement was a steal.
+func (r *Router) Primary(id int) int { return r.primary(id) }
 
 // primary returns the consistent-hash shard for a job ID: the first ring
 // point at or clockwise-after the ID's hash.
@@ -133,6 +193,12 @@ func (r *Router) primary(id int) int {
 	}
 	return r.ring[i].shard
 }
+
+// Occupancy exposes the fluid model's perceived occupancy of a job — a
+// pure function of the router's construction parameters — for the
+// shard-local durable mirrors that track the fluid clock in journal
+// order.
+func (r *Router) Occupancy(j workload.Job) float64 { return r.occupancy(j) }
 
 // occupancy is the fluid model's perceived whole-shard occupancy of a
 // job, in seconds: perceived runtime scaled by the fraction of the shard
@@ -164,18 +230,30 @@ func (r *Router) Place(now float64, j workload.Job) (int, error) {
 		return 0, fmt.Errorf("fed: job ID %d is already placed", j.ID)
 	}
 	s := r.primary(j.ID)
+	// A quarantined primary refuses rather than diverts: healthy shards
+	// must see exactly the substream they would have seen in a federation
+	// that never received the down shard's traffic, so degraded-mode
+	// output stays a deterministic function of the surviving stream.
+	if r.quar[s] {
+		return 0, &ShardDownError{Shard: s}
+	}
 	occ := r.occupancy(j)
 	if r.shards > 1 {
-		// Least-loaded fallback: lowest backlog, ties to the lowest shard.
-		min := 0
-		for c := 1; c < r.shards; c++ {
-			if r.load(c, now) < r.load(min, now) {
+		// Least-loaded fallback among healthy shards: lowest backlog,
+		// ties to the lowest shard. With nothing quarantined this scan is
+		// exactly the pre-degradation one, so placements are unchanged.
+		min := -1
+		for c := 0; c < r.shards; c++ {
+			if r.quar[c] {
+				continue
+			}
+			if min < 0 || r.load(c, now) < r.load(min, now) {
 				min = c
 			}
 		}
 		if min != s && r.load(s, now)-r.load(min, now) > occ*r.stealFactor {
 			s = min
-			r.stolen++
+			r.stolenOnto[s]++
 		}
 	}
 	if r.vt[s] < now {
@@ -184,6 +262,36 @@ func (r *Router) Place(now float64, j workload.Job) (int, error) {
 	r.vt[s] += occ
 	r.placed[j.ID] = s
 	return s, nil
+}
+
+// Adopt replays one journaled placement during recovery: the job landed
+// on shard s (its journal says so), the fluid clock advances exactly as
+// the original Place did, and the steal attribution is re-derived from
+// the ring — a placement off its hash-primary was a steal.
+func (r *Router) Adopt(now float64, j workload.Job, s int) error {
+	if _, dup := r.placed[j.ID]; dup {
+		return fmt.Errorf("fed: job ID %d is already placed", j.ID)
+	}
+	if s != r.primary(j.ID) {
+		r.stolenOnto[s]++
+	}
+	if r.vt[s] < now {
+		r.vt[s] = now
+	}
+	r.vt[s] += r.occupancy(j)
+	r.placed[j.ID] = s
+	return nil
+}
+
+// AdoptActive registers a snapshot-restored active job's placement
+// without touching the fluid clock or steal counts — the snapshot's
+// FedState already accounts for it.
+func (r *Router) AdoptActive(id, s int) error {
+	if _, dup := r.placed[id]; dup {
+		return fmt.Errorf("fed: job ID %d is already placed", id)
+	}
+	r.placed[id] = s
+	return nil
 }
 
 // Locate returns the shard an active job was placed on.

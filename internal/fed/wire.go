@@ -39,8 +39,20 @@ const (
 	// RespOK carries f64 now, u32 n, then n starts
 	// (i64 id, f64 time, f64 wait, u8 backfilled).
 	RespOK byte = 0x00
-	// RespErr carries u32 status code, u32 len, message bytes.
+	// RespErr carries u32 status code, u8 flags, u32 len, message bytes.
+	// Flag bit 0 marks the error retryable: the request was refused
+	// without being applied (drain in progress, shard quarantined) and
+	// the same request may succeed after a backoff — the wire analogue of
+	// HTTP 503 + Retry-After. Errors with the bit clear are fatal: the
+	// request is malformed, or it was applied but could not be journaled,
+	// and resending it would double-apply.
 	RespErr byte = 0x01
+)
+
+// RespErr flag bits.
+const (
+	// ErrFlagRetryable marks a refused-before-apply error safe to resend.
+	ErrFlagRetryable byte = 1 << 0
 )
 
 // MaxWireFrame bounds one frame's payload, mirroring the journal's
@@ -178,19 +190,29 @@ func AppendOKResp(dst []byte, now float64, starts []online.Start) []byte {
 	return dst
 }
 
-// AppendErrResp encodes an error response payload onto dst.
-func AppendErrResp(dst []byte, code int, msg string) []byte {
+// AppendErrResp encodes an error response payload onto dst. retryable
+// sets the flag bit telling the client the request was refused before
+// being applied and may be resent after a backoff.
+func AppendErrResp(dst []byte, code int, retryable bool, msg string) []byte {
 	dst = append(dst, RespErr)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(code))
+	var flags byte
+	if retryable {
+		flags |= ErrFlagRetryable
+	}
+	dst = append(dst, flags)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(msg)))
 	return append(dst, msg...)
 }
 
 // WireError is a decoded RespErr: the federation daemon's HTTP-ish
 // status code and message, surfaced to binary clients as an error value.
+// Retryable mirrors the frame's flag bit — see RespErr for the
+// retryable-vs-fatal split.
 type WireError struct {
-	Code int
-	Msg  string
+	Code      int
+	Retryable bool
+	Msg       string
 }
 
 func (e *WireError) Error() string {
@@ -229,16 +251,17 @@ func DecodeResp(payload []byte, scratch []online.Start) (now float64, starts []o
 		}
 		return now, scratch, nil
 	case RespErr:
-		if len(body) < 8 {
+		if len(body) < 9 {
 			return 0, nil, fmt.Errorf("fed: truncated error response")
 		}
 		code := int(binary.LittleEndian.Uint32(body))
-		ml := binary.LittleEndian.Uint32(body[4:])
-		body = body[8:]
+		flags := body[4]
+		ml := binary.LittleEndian.Uint32(body[5:])
+		body = body[9:]
 		if uint64(ml) != uint64(len(body)) {
 			return 0, nil, fmt.Errorf("fed: error response carries %d bytes for %d-byte message", len(body), ml)
 		}
-		return 0, nil, &WireError{Code: code, Msg: string(body)}
+		return 0, nil, &WireError{Code: code, Retryable: flags&ErrFlagRetryable != 0, Msg: string(body)}
 	}
 	return 0, nil, fmt.Errorf("fed: unknown response kind 0x%02x", kind)
 }

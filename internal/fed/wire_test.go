@@ -75,10 +75,15 @@ func TestWireRespRoundTrip(t *testing.T) {
 	if now != 321.25 || !reflect.DeepEqual(got, starts) {
 		t.Fatalf("ok resp round trip: now=%g starts=%+v", now, got)
 	}
-	_, _, err = DecodeResp(AppendErrResp(nil, 409, "job ID 42 is already active"), nil)
+	_, _, err = DecodeResp(AppendErrResp(nil, 409, false, "job ID 42 is already active"), nil)
 	we, ok := err.(*WireError)
-	if !ok || we.Code != 409 || we.Msg != "job ID 42 is already active" {
+	if !ok || we.Code != 409 || we.Retryable || we.Msg != "job ID 42 is already active" {
 		t.Fatalf("err resp round trip: %v", err)
+	}
+	_, _, err = DecodeResp(AppendErrResp(nil, 503, true, "shard 3 is quarantined"), nil)
+	we, ok = err.(*WireError)
+	if !ok || we.Code != 503 || !we.Retryable || we.Msg != "shard 3 is quarantined" {
+		t.Fatalf("retryable err resp round trip: %v", err)
 	}
 }
 
@@ -174,7 +179,8 @@ func FuzzDecodeMsg(f *testing.F) {
 // FuzzDecodeResp is the same contract for the response decoder.
 func FuzzDecodeResp(f *testing.F) {
 	f.Add(AppendOKResp(nil, 1.5, []online.Start{{ID: 3, Time: 1.5, Wait: 0.5, Backfilled: true}}))
-	f.Add(AppendErrResp(nil, 400, "bad"))
+	f.Add(AppendErrResp(nil, 400, false, "bad"))
+	f.Add(AppendErrResp(nil, 503, true, "quarantined"))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		now, starts, err := DecodeResp(payload, nil)
 		if err != nil {
